@@ -1,0 +1,71 @@
+// Command benchgen emits JSON bundles (application + implementation
+// library + platform) for cmd/spatialmap: either the paper's HIPERLAN/2
+// case or a seeded synthetic instance, answering the paper's call for a
+// benchmark corpus (§5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtsm/internal/workload"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "hiperlan2", "bundle kind: hiperlan2|chain|forkjoin|layered")
+		mode  = flag.String("mode", "QPSK3/4", "HIPERLAN/2 mode (hiperlan2 kind)")
+		procs = flag.Int("procs", 8, "process count (synthetic kinds)")
+		seed  = flag.Int64("seed", 1, "generator seed (synthetic kinds)")
+		mesh  = flag.Int("mesh", 4, "mesh edge length (synthetic kinds)")
+		out   = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var bundle *workload.Bundle
+	switch *kind {
+	case "hiperlan2":
+		var m *workload.Hiperlan2Mode
+		for i := range workload.Hiperlan2Modes {
+			if workload.Hiperlan2Modes[i].Name == *mode {
+				m = &workload.Hiperlan2Modes[i]
+				break
+			}
+		}
+		if m == nil {
+			fatal(fmt.Errorf("unknown mode %q", *mode))
+		}
+		bundle = workload.NewBundle(
+			workload.Hiperlan2(*m),
+			workload.Hiperlan2Library(*m),
+			workload.Hiperlan2Platform())
+	case "chain", "forkjoin", "layered":
+		app, lib := workload.Synthetic(workload.SynthOptions{
+			Shape:     workload.Shape(*kind),
+			Processes: *procs,
+			Seed:      *seed,
+		})
+		bundle = workload.NewBundle(app, lib, workload.SyntheticPlatform(*mesh, *mesh, *seed))
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := bundle.Write(w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command experiments regenerates the paper's tables and figures and the
+// extended benchmark suite. Run with -list to see the available
+// experiment IDs, or -e all for the full report (EXPERIMENTS.md records
+// the outcomes of exactly this run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rtsm/internal/experiments"
+)
+
+func main() {
+	var (
+		which = flag.String("e", "all", "experiment to run (see -list)")
+		list  = flag.Bool("list", false, "list experiment selectors and exit")
+		iters = flag.Int("iters", 100, "iterations for the runtime experiment")
+	)
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	out, err := run(*which, *iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Println(out)
+}
+
+func run(which string, iters int) (string, error) {
+	switch which {
+	case "fig1":
+		return experiments.Fig1(), nil
+	case "table1":
+		return experiments.Table1(experiments.DefaultMode), nil
+	case "fig2":
+		return experiments.Fig2(), nil
+	case "table2":
+		out, _, err := experiments.Table2()
+		return out, err
+	case "fig3":
+		out, _, err := experiments.Fig3()
+		return out, err
+	case "runtime":
+		rep, err := experiments.MapperRuntime(iters)
+		if err != nil {
+			return "", err
+		}
+		return rep.String(), nil
+	case "runtime-vs-designtime":
+		_, out, err := experiments.RuntimeVsDesignTime()
+		return out, err
+	case "quality":
+		_, out, err := experiments.Quality(10)
+		return out, err
+	case "scaling":
+		_, out, err := experiments.Scaling()
+		return out, err
+	case "ablation":
+		_, out, err := experiments.Ablation()
+		return out, err
+	case "validate":
+		return experiments.ValidateAll()
+	case "admission":
+		_, out, err := experiments.Admission()
+		return out, err
+	case "all":
+		return experiments.All()
+	default:
+		return "", fmt.Errorf("unknown experiment %q (try -list)", which)
+	}
+}

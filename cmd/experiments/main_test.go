@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDispatch(t *testing.T) {
+	// The fast selectors must produce their section headers; the full
+	// sweeps are covered by the experiments package and the benchmarks.
+	cases := map[string]string{
+		"fig1":   "E1 / Figure 1",
+		"table1": "E2 / Table 1",
+		"fig2":   "E3 / Figure 2",
+		"table2": "E4 / Table 2",
+		"fig3":   "E5 / Figure 3",
+	}
+	for sel, want := range cases {
+		out, err := run(sel, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", sel, err)
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("%s output missing %q", sel, want)
+		}
+	}
+}
+
+func TestRunRuntimeSelector(t *testing.T) {
+	out, err := run("runtime", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E6") {
+		t.Errorf("runtime output missing header:\n%s", out)
+	}
+}
+
+func TestRunUnknownSelector(t *testing.T) {
+	if _, err := run("nope", 1); err == nil {
+		t.Error("unknown selector accepted")
+	}
+}

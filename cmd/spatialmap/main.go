@@ -1,0 +1,153 @@
+// Command spatialmap maps an arbitrary streaming application onto an
+// arbitrary platform, both supplied as one JSON bundle (see cmd/benchgen
+// for producing bundles). It prints the mapping, its energy and the QoS
+// verdict; -json emits a machine-readable result.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rtsm/internal/core"
+	"rtsm/internal/schedule"
+	"rtsm/internal/workload"
+)
+
+type jsonResult struct {
+	Feasible    bool              `json:"feasible"`
+	EnergyNJ    float64           `json:"energyNJ"`
+	PeriodNs    float64           `json:"periodNs"`
+	LatencyNs   int64             `json:"latencyNs"`
+	Refinements int               `json:"refinements"`
+	Placement   map[string]string `json:"placement"` // process -> tile
+	Routes      map[string]int    `json:"routes"`    // channel -> hops
+	Buffers     map[string]int64  `json:"buffers"`   // channel -> tokens
+}
+
+func main() {
+	var (
+		in       = flag.String("in", "", "bundle JSON file (default stdin)")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON")
+		strategy = flag.String("strategy", "first", "step-2 strategy: first|best")
+		router   = flag.String("router", "adaptive", "step-3 routing: adaptive|xy")
+		weighted = flag.Bool("weighted", false, "traffic-weighted step-2 cost instead of hop sum")
+		tighten  = flag.Bool("tighten", false, "tighten buffer capacities (slower, smaller buffers)")
+		schedOut = flag.Bool("schedule", false, "derive and print per-tile static-order schedules")
+	)
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	app, lib, plat, err := workload.ReadBundle(r)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.Config{TightenBuffers: *tighten}
+	switch *strategy {
+	case "first":
+	case "best":
+		cfg.Strategy = core.BestImprovement
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	switch *router {
+	case "adaptive":
+	case "xy":
+		cfg.Router = core.XYOnly
+	default:
+		fatal(fmt.Errorf("unknown router %q", *router))
+	}
+	if *weighted {
+		cfg.CommCost = core.TrafficWeighted
+	}
+
+	res, err := (&core.Mapper{Lib: lib, Cfg: cfg}).Map(app, plat)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		out := jsonResult{
+			Feasible:    res.Feasible,
+			EnergyNJ:    res.Energy.Total(),
+			Refinements: res.Refinements,
+			Placement:   make(map[string]string),
+			Routes:      make(map[string]int),
+			Buffers:     make(map[string]int64),
+		}
+		if res.Analysis != nil {
+			out.PeriodNs = res.Analysis.Period
+			out.LatencyNs = res.Analysis.Latency
+		}
+		for _, p := range app.Processes {
+			if tid, ok := res.Mapping.Tile[p.ID]; ok {
+				out.Placement[p.Name] = res.Platform.Tile(tid).Name
+			}
+		}
+		for _, c := range app.StreamChannels() {
+			if path, ok := res.Mapping.Route[c.ID]; ok {
+				out.Routes[c.Name] = path.Hops()
+			}
+			if buf, ok := res.Mapping.Buffers[c.ID]; ok {
+				out.Buffers[c.Name] = buf
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("application %q on platform %q\n\n", app.Name, plat.Name)
+	fmt.Println("placement:")
+	for _, p := range app.Processes {
+		tid, ok := res.Mapping.Tile[p.ID]
+		if !ok {
+			continue
+		}
+		impl := "(pinned)"
+		if im := res.Mapping.Impl[p.ID]; im != nil {
+			impl = string(im.TileType)
+		}
+		fmt.Printf("  %-16s → %-12s %s\n", p.Name, res.Platform.Tile(tid).Name, impl)
+	}
+	fmt.Println("\nroutes:")
+	for _, r := range res.Trace.Step3 {
+		fmt.Println(" ", r)
+	}
+	if res.Analysis != nil {
+		fmt.Printf("\nperiod %.0f ns (required %d), latency %d ns\n",
+			res.Analysis.Period, app.QoS.PeriodNs, res.Analysis.Latency)
+	}
+	fmt.Printf("energy: %s\nfeasible: %v\n", res.Energy, res.Feasible)
+	if *schedOut && res.Feasible {
+		sched, err := schedule.Build(app, res)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n%s", sched)
+	}
+	if !res.Feasible {
+		for _, n := range res.Trace.Notes {
+			fmt.Println("note:", n)
+		}
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spatialmap:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Multi-application admission: the scenario the paper's introduction
+// motivates. Applications are started and stopped at run time; each new
+// arrival is mapped against the platform's *actual* residual resources
+// (not design-time worst cases), admitted if feasible, and its
+// reservations persist until it stops.
+//
+// Two HIPERLAN/2 receivers cannot coexist on the Figure 2 platform (four
+// heavy kernels, two Montiums) — but a receiver plus a lightweight sensor
+// pipeline can, and after the receiver stops, a second receiver fits
+// again.
+//
+// Run with: go run ./examples/multiapp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtsm/internal/arch"
+	"rtsm/internal/core"
+	"rtsm/internal/csdf"
+	"rtsm/internal/model"
+	"rtsm/internal/workload"
+)
+
+// sensorApp is a light two-process pipeline that fits on the ARMs next to
+// a running receiver.
+func sensorApp() (*model.Application, *model.Library) {
+	app := model.NewApplication("sensor", model.QoS{PeriodNs: 100_000})
+	src := app.AddPinnedProcess("probe", "A/D")
+	avg := app.AddProcess("avg")
+	detect := app.AddProcess("detect")
+	sink := app.AddPinnedProcess("report", "Sink")
+	app.Connect(src, avg, 16, 4)
+	app.Connect(avg, detect, 4, 4)
+	app.Connect(detect, sink, 1, 4)
+	lib := model.NewLibrary()
+	lib.Add(&model.Implementation{
+		Process: "avg", TileType: arch.TypeARM,
+		WCET:            csdf.Vals(3, 120, 1),
+		In:              map[string]csdf.Pattern{"in": csdf.Vals(16, 0, 0)},
+		Out:             map[string]csdf.Pattern{"out": csdf.Vals(0, 0, 4)},
+		EnergyPerPeriod: 15, MemBytes: 1024,
+	})
+	lib.Add(&model.Implementation{
+		Process: "detect", TileType: arch.TypeARM,
+		WCET:            csdf.Vals(1, 80, 1),
+		In:              map[string]csdf.Pattern{"in": csdf.Vals(4, 0, 0)},
+		Out:             map[string]csdf.Pattern{"out": csdf.Vals(0, 0, 1)},
+		EnergyPerPeriod: 9, MemBytes: 1024,
+	})
+	return app, lib
+}
+
+func occupancy(plat *arch.Platform) string {
+	s := ""
+	for _, t := range plat.Tiles {
+		if t.Occupants > 0 {
+			s += fmt.Sprintf("  %-9s occ=%d util=%.0f%% mem=%d B\n",
+				t.Name, t.Occupants, 100*t.ReservedUtil, t.ReservedMem)
+		}
+	}
+	if s == "" {
+		return "  (all tiles idle)\n"
+	}
+	return s
+}
+
+func main() {
+	plat := workload.Hiperlan2Platform()
+	mode := workload.Hiperlan2Modes[2]
+
+	fmt.Println("1) Admit a HIPERLAN/2 receiver:")
+	rxApp := workload.Hiperlan2(mode)
+	rxLib := workload.Hiperlan2Library(mode)
+	rx, err := core.NewMapper(rxLib).Map(rxApp, plat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rx.Feasible {
+		log.Fatal("receiver unexpectedly infeasible")
+	}
+	if err := core.Apply(plat, rx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   admitted at %.1f nJ/symbol\n", rx.Energy.Total())
+	fmt.Print(occupancy(plat))
+
+	fmt.Println("\n2) Try to admit a second receiver (should fail — the Montiums are taken):")
+	rx2App := workload.Hiperlan2(mode)
+	rx2App.Name = "hiperlan2-rx2"
+	rx2, err := core.NewMapper(rxLib).Map(rx2App, plat)
+	switch {
+	case err != nil:
+		fmt.Printf("   rejected: %v\n", err)
+	case !rx2.Feasible:
+		fmt.Println("   rejected: no feasible mapping with current occupancy")
+	default:
+		fmt.Println("   unexpectedly admitted!")
+	}
+
+	fmt.Println("\n3) Admit a lightweight sensor pipeline alongside (fits the ARM headroom):")
+	sApp, sLib := sensorApp()
+	sensor, err := core.NewMapper(sLib).Map(sApp, plat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !sensor.Feasible {
+		log.Fatalf("sensor infeasible: %v", sensor.Trace.Notes)
+	}
+	if err := core.Apply(plat, sensor); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   admitted at %.1f nJ/period\n", sensor.Energy.Total())
+	fmt.Print(occupancy(plat))
+
+	fmt.Println("\n4) Stop the receiver and retry the second one:")
+	core.Remove(plat, rx)
+	rx2, err = core.NewMapper(rxLib).Map(rx2App, plat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rx2.Feasible {
+		log.Fatalf("second receiver still infeasible: %v", rx2.Trace.Notes)
+	}
+	if err := core.Apply(plat, rx2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   admitted at %.1f nJ/symbol\n", rx2.Energy.Total())
+	fmt.Print(occupancy(plat))
+}

@@ -1,0 +1,272 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Platform is a complete MPSoC description: tiles, routers and links. The
+// zero value is unusable; construct platforms with NewMesh and AttachTile,
+// or with a workload generator.
+type Platform struct {
+	Name   string
+	Width  int
+	Height int
+	// NoCClockHz is the clock of the routers; together with the 4-cycle
+	// router latency it sets per-hop forwarding delay.
+	NoCClockHz int64
+	Tiles      []*Tile
+	Routers    []*Router
+	Links      []*Link
+
+	out    [][]LinkID        // router -> outgoing link IDs
+	in     [][]LinkID        // router -> incoming link IDs
+	byName map[string]TileID // tile name -> id
+	atRtr  map[RouterID][]TileID
+}
+
+// NewMesh creates a w×h mesh of routers with bidirectional links of the
+// given capacity between horizontal and vertical neighbours. Routers get
+// the paper's 4-cycle worst-case latency. No tiles are attached yet.
+func NewMesh(name string, w, h int, linkCapBps int64) *Platform {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("arch: invalid mesh dimensions %d×%d", w, h))
+	}
+	p := &Platform{
+		Name:       name,
+		Width:      w,
+		Height:     h,
+		NoCClockHz: 200_000_000,
+		byName:     make(map[string]TileID),
+		atRtr:      make(map[RouterID][]TileID),
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			id := RouterID(len(p.Routers))
+			p.Routers = append(p.Routers, &Router{ID: id, Pos: Point{x, y}, LatencyCycles: 4})
+		}
+	}
+	p.out = make([][]LinkID, len(p.Routers))
+	p.in = make([][]LinkID, len(p.Routers))
+	link := func(a, b RouterID) {
+		id := LinkID(len(p.Links))
+		p.Links = append(p.Links, &Link{ID: id, From: a, To: b, CapBps: linkCapBps})
+		p.out[a] = append(p.out[a], id)
+		p.in[b] = append(p.in[b], id)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r := p.RouterAt(Point{x, y}).ID
+			if x+1 < w {
+				r2 := p.RouterAt(Point{x + 1, y}).ID
+				link(r, r2)
+				link(r2, r)
+			}
+			if y+1 < h {
+				r2 := p.RouterAt(Point{x, y + 1}).ID
+				link(r, r2)
+				link(r2, r)
+			}
+		}
+	}
+	return p
+}
+
+// RouterAt returns the router at the given mesh coordinate.
+func (p *Platform) RouterAt(pt Point) *Router {
+	if pt.X < 0 || pt.X >= p.Width || pt.Y < 0 || pt.Y >= p.Height {
+		panic(fmt.Sprintf("arch: router coordinate %v outside %d×%d mesh", pt, p.Width, p.Height))
+	}
+	return p.Routers[pt.Y*p.Width+pt.X]
+}
+
+// TileSpec carries the static parameters of a tile to attach.
+type TileSpec struct {
+	Name         string
+	Type         TileType
+	At           Point // router coordinate the tile attaches to
+	ClockHz      int64
+	MemBytes     int64
+	NICapBps     int64
+	MaxOccupants int // 0 = unlimited
+}
+
+// AttachTile adds a tile to the platform. Tile IDs are assigned in call
+// order; the spatial mapper's first-fit packing visits tiles in this order,
+// so declaration order encodes the paper's "first tile we come across".
+func (p *Platform) AttachTile(s TileSpec) *Tile {
+	if s.Name == "" {
+		panic("arch: tile must have a name")
+	}
+	if _, dup := p.byName[s.Name]; dup {
+		panic(fmt.Sprintf("arch: duplicate tile name %q", s.Name))
+	}
+	r := p.RouterAt(s.At)
+	t := &Tile{
+		ID:           TileID(len(p.Tiles)),
+		Name:         s.Name,
+		Type:         s.Type,
+		Router:       r.ID,
+		ClockHz:      s.ClockHz,
+		MemBytes:     s.MemBytes,
+		NICapBps:     s.NICapBps,
+		MaxOccupants: s.MaxOccupants,
+	}
+	p.Tiles = append(p.Tiles, t)
+	p.byName[s.Name] = t.ID
+	p.atRtr[r.ID] = append(p.atRtr[r.ID], t.ID)
+	return t
+}
+
+// Tile returns the tile with the given ID.
+func (p *Platform) Tile(id TileID) *Tile {
+	if id < 0 || int(id) >= len(p.Tiles) {
+		panic(fmt.Sprintf("arch: tile id %d out of range", id))
+	}
+	return p.Tiles[id]
+}
+
+// TileByName returns the tile with the given name, or nil.
+func (p *Platform) TileByName(name string) *Tile {
+	id, ok := p.byName[name]
+	if !ok {
+		return nil
+	}
+	return p.Tiles[id]
+}
+
+// TilesOfType returns the tiles of the given type in declaration order.
+func (p *Platform) TilesOfType(tt TileType) []*Tile {
+	var out []*Tile
+	for _, t := range p.Tiles {
+		if t.Type == tt {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TilesAtRouter returns the IDs of tiles attached to a router.
+func (p *Platform) TilesAtRouter(r RouterID) []TileID { return p.atRtr[r] }
+
+// TileTypes returns the set of tile types present, sorted for determinism.
+func (p *Platform) TileTypes() []TileType {
+	seen := make(map[TileType]bool)
+	for _, t := range p.Tiles {
+		seen[t.Type] = true
+	}
+	out := make([]TileType, 0, len(seen))
+	for tt := range seen {
+		out = append(out, tt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Pos returns the mesh coordinate of the tile's router.
+func (p *Platform) Pos(id TileID) Point { return p.Routers[p.Tile(id).Router].Pos }
+
+// Manhattan returns the router-grid Manhattan distance between two tiles.
+func (p *Platform) Manhattan(a, b TileID) int {
+	return p.Pos(a).Manhattan(p.Pos(b))
+}
+
+// OutLinks returns the IDs of links leaving a router.
+func (p *Platform) OutLinks(r RouterID) []LinkID { return p.out[r] }
+
+// InLinks returns the IDs of links entering a router.
+func (p *Platform) InLinks(r RouterID) []LinkID { return p.in[r] }
+
+// Link returns the link with the given ID.
+func (p *Platform) Link(id LinkID) *Link {
+	if id < 0 || int(id) >= len(p.Links) {
+		panic(fmt.Sprintf("arch: link id %d out of range", id))
+	}
+	return p.Links[id]
+}
+
+// LinkBetween returns the directed link from router a to router b, or nil.
+func (p *Platform) LinkBetween(a, b RouterID) *Link {
+	for _, id := range p.out[a] {
+		if l := p.Links[id]; l.To == b {
+			return l
+		}
+	}
+	return nil
+}
+
+// ResetReservations clears all resource reservations on tiles and links,
+// returning the platform to its pristine state. The mapper calls this
+// between independent mapping attempts; multi-application scenarios do not
+// call it, so reservations of admitted applications persist.
+func (p *Platform) ResetReservations() {
+	for _, t := range p.Tiles {
+		t.ReservedMem = 0
+		t.ReservedInBps = 0
+		t.ReservedOutBps = 0
+		t.ReservedUtil = 0
+		t.Occupants = 0
+	}
+	for _, l := range p.Links {
+		l.ReservedBps = 0
+	}
+}
+
+// Clone returns a deep copy of the platform including reservation state.
+// Search procedures clone platforms to evaluate alternatives without
+// disturbing committed state.
+func (p *Platform) Clone() *Platform {
+	q := &Platform{
+		Name:       p.Name,
+		Width:      p.Width,
+		Height:     p.Height,
+		NoCClockHz: p.NoCClockHz,
+		out:        p.out, // immutable after construction
+		in:         p.in,
+		byName:     p.byName,
+		atRtr:      p.atRtr,
+	}
+	q.Tiles = make([]*Tile, len(p.Tiles))
+	for i, t := range p.Tiles {
+		c := *t
+		q.Tiles[i] = &c
+	}
+	q.Routers = p.Routers // immutable after construction
+	q.Links = make([]*Link, len(p.Links))
+	for i, l := range p.Links {
+		c := *l
+		q.Links[i] = &c
+	}
+	return q
+}
+
+// String renders the platform as a coarse ASCII floor plan: one row per
+// mesh row, each router shown as R with the names of attached tiles.
+func (p *Platform) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d×%d mesh, %d tiles\n", p.Name, p.Width, p.Height, len(p.Tiles))
+	colW := 1
+	cells := make([]string, len(p.Routers))
+	for i, r := range p.Routers {
+		names := make([]string, 0, 1)
+		for _, tid := range p.atRtr[r.ID] {
+			names = append(names, p.Tiles[tid].Name)
+		}
+		cell := "R"
+		if len(names) > 0 {
+			cell = "R[" + strings.Join(names, ",") + "]"
+		}
+		cells[i] = cell
+		if len(cell) > colW {
+			colW = len(cell)
+		}
+	}
+	for y := 0; y < p.Height; y++ {
+		for x := 0; x < p.Width; x++ {
+			fmt.Fprintf(&b, "%-*s ", colW, cells[y*p.Width+x])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

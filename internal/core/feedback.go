@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"rtsm/internal/arch"
+	"rtsm/internal/model"
+)
+
+// feedbackKind classifies why an attempt failed, which determines the
+// constraint the refinement loop adds before retrying (paper §3, step 4:
+// "feedback should be given to earlier steps to try and improve upon those
+// characteristics of the mapping that violate the constraint(s)").
+type feedbackKind int
+
+const (
+	// fbNoImplementation: step 1 ran out of options for a process.
+	fbNoImplementation feedbackKind = iota
+	// fbNoTile: step 1 found no tile with room for the chosen
+	// implementation.
+	fbNoTile
+	// fbRouteFailure: step 3 could not route a channel.
+	fbRouteFailure
+	// fbThroughput: step 4 measured a period above the requirement.
+	fbThroughput
+	// fbLatency: step 4 measured latency above the bound.
+	fbLatency
+	// fbBufferOverflow: step 4's buffers do not fit the consumer's tile.
+	fbBufferOverflow
+)
+
+func (k feedbackKind) String() string {
+	switch k {
+	case fbNoImplementation:
+		return "no-implementation"
+	case fbNoTile:
+		return "no-tile"
+	case fbRouteFailure:
+		return "route-failure"
+	case fbThroughput:
+		return "throughput-violation"
+	case fbLatency:
+		return "latency-violation"
+	case fbBufferOverflow:
+		return "buffer-overflow"
+	}
+	return "?"
+}
+
+// feedback names the violated constraint and the decision to revisit.
+type feedback struct {
+	kind    feedbackKind
+	process model.ProcessID
+	// banImplType bans (process, tile type): the process must choose an
+	// implementation for a different tile type next attempt.
+	banImplType arch.TileType
+	// banTile bans (process, tile): the process must be placed elsewhere.
+	banTile    arch.TileID
+	useBanTile bool
+	detail     string
+}
+
+func (f *feedback) String() string {
+	return fmt.Sprintf("%s: %s", f.kind, f.detail)
+}
+
+type implBan struct {
+	process model.ProcessID
+	tt      arch.TileType
+}
+
+type tileBan struct {
+	process model.ProcessID
+	tile    arch.TileID
+}
+
+// tabu accumulates the constraints produced by feedback across refinement
+// rounds. "Decisions made in previous steps are considered fixed in later
+// steps" within an attempt; between attempts, tabu constraints are what
+// carries the lesson forward.
+type tabu struct {
+	impl  map[implBan]bool
+	tiles map[tileBan]bool
+	log   []string
+}
+
+func newTabu() *tabu {
+	return &tabu{impl: make(map[implBan]bool), tiles: make(map[tileBan]bool)}
+}
+
+// apply adds the feedback's constraint and reports whether it is new;
+// repeating a known constraint means another round cannot produce a
+// different outcome.
+func (t *tabu) apply(f *feedback) bool {
+	switch {
+	case f.useBanTile:
+		b := tileBan{process: f.process, tile: f.banTile}
+		if t.tiles[b] {
+			return false
+		}
+		t.tiles[b] = true
+	case f.banImplType != "":
+		b := implBan{process: f.process, tt: f.banImplType}
+		if t.impl[b] {
+			return false
+		}
+		t.impl[b] = true
+	default:
+		return false
+	}
+	t.log = append(t.log, f.String())
+	return true
+}
+
+func (t *tabu) bansImpl(p model.ProcessID, tt arch.TileType) bool {
+	return t.impl[implBan{process: p, tt: tt}]
+}
+
+func (t *tabu) bansTile(p model.ProcessID, tile arch.TileID) bool {
+	return t.tiles[tileBan{process: p, tile: tile}]
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rtsm/internal/arch"
+	"rtsm/internal/model"
+)
+
+// option is one viable (implementation, first-fit tile) pair for a process
+// during step 1.
+type option struct {
+	im   *model.Implementation
+	tile *arch.Tile
+	util float64
+	cost float64
+}
+
+// step1 assigns an implementation — and thereby a tile type — to every
+// mappable process (paper §3, step 1). Processes are picked iteratively by
+// desirability: the cost gap between their cheapest and second cheapest
+// viable option. A process whose last alternative disappeared is forced
+// (desirability +Inf), matching the paper's "chosen per default". The
+// chosen implementation is packed first-fit onto a concrete tile so that
+// an adhering assignment is known to exist after this step.
+func (m *Mapper) step1(app *model.Application, work *arch.Platform, mp *Mapping, tb *tabu, tr *Trace) *feedback {
+	procs := app.MappableProcesses()
+	unassigned := make([]*model.Process, len(procs))
+	copy(unassigned, procs)
+
+	for len(unassigned) > 0 {
+		type scored struct {
+			idx          int // index into unassigned
+			desirability float64
+			best         option
+		}
+		var pick *scored
+		for i, p := range unassigned {
+			opts, fb := m.viableOptions(app, work, mp, p, tb)
+			if fb != nil {
+				return fb
+			}
+			s := scored{idx: i, best: opts[0]}
+			if len(opts) == 1 {
+				s.desirability = math.Inf(1)
+			} else {
+				s.desirability = opts[1].cost - opts[0].cost
+			}
+			if m.Cfg.ArbitraryOrder {
+				// Ablation: take processes in declaration order, ignoring
+				// desirability entirely.
+				pick = &s
+				break
+			}
+			if pick == nil || s.desirability > pick.desirability {
+				s := s
+				pick = &s
+			}
+		}
+		p := unassigned[pick.idx]
+		opt := pick.best
+		opt.tile.ReservedMem += opt.im.MemBytes
+		opt.tile.ReservedUtil += opt.util
+		opt.tile.Occupants++
+		mp.Impl[p.ID] = opt.im
+		mp.Tile[p.ID] = opt.tile.ID
+		tr.Step1 = append(tr.Step1, Step1Record{
+			Process:      p.Name,
+			Desirability: pick.desirability,
+			Impl:         opt.im.String(),
+			Tile:         opt.tile.Name,
+		})
+		unassigned = append(unassigned[:pick.idx], unassigned[pick.idx+1:]...)
+	}
+	return nil
+}
+
+// viableOptions returns the process's options sorted by cost (cheapest
+// first; ties by library registration order). Options are filtered the way
+// the paper prescribes: only implementations that currently fit on at
+// least one tile keep the eventual mapping adherent.
+func (m *Mapper) viableOptions(app *model.Application, work *arch.Platform, mp *Mapping, p *model.Process, tb *tabu) ([]option, *feedback) {
+	var opts []option
+	for _, im := range m.Lib.For(p.Name) {
+		if tb.bansImpl(p.ID, im.TileType) {
+			continue
+		}
+		cyc, err := im.CyclesPerPeriod(app, p)
+		if err != nil {
+			// The implementation does not match the application's channel
+			// structure; it is not an option for this app.
+			continue
+		}
+		tile, util := m.firstFit(app, work, p, im, cyc, tb)
+		if tile == nil {
+			continue
+		}
+		cost := im.EnergyPerPeriod
+		if m.Cfg.CommEstimateInStep1 {
+			cost += m.commEstimate(app, work, mp, p, tile)
+		}
+		opts = append(opts, option{im: im, tile: tile, util: util, cost: cost})
+	}
+	if len(opts) == 0 {
+		return nil, m.step1Feedback(app, work, mp, p, tb)
+	}
+	// Insertion sort by cost keeps registration order on ties and avoids
+	// pulling in sort for a handful of options.
+	for i := 1; i < len(opts); i++ {
+		for j := i; j > 0 && opts[j].cost < opts[j-1].cost; j-- {
+			opts[j], opts[j-1] = opts[j-1], opts[j]
+		}
+	}
+	return opts, nil
+}
+
+// step1Feedback is produced when a process runs out of options mid-step-1.
+// The paper lists feedback from the earlier steps as future work ("When
+// earlier steps fail to find a solution, feedback information should be
+// produced with which a new attempt can be made", §5); this implements it:
+// find a tile type the starved process could use, pick an already-assigned
+// occupant of that type that has an alternative tile type, and ban the
+// occupant's choice so the next attempt frees a slot.
+func (m *Mapper) step1Feedback(app *model.Application, work *arch.Platform, mp *Mapping, p *model.Process, tb *tabu) *feedback {
+	for _, im := range m.Lib.For(p.Name) {
+		if tb.bansImpl(p.ID, im.TileType) {
+			continue
+		}
+		for _, q := range app.MappableProcesses() {
+			qIm := mp.Impl[q.ID]
+			if qIm == nil || qIm.TileType != im.TileType || tb.bansImpl(q.ID, qIm.TileType) {
+				continue
+			}
+			// The displaced process needs somewhere else to go.
+			hasAlternative := false
+			for _, alt := range m.Lib.For(q.Name) {
+				if alt.TileType != qIm.TileType && !tb.bansImpl(q.ID, alt.TileType) &&
+					len(work.TilesOfType(alt.TileType)) > 0 {
+					hasAlternative = true
+					break
+				}
+			}
+			if !hasAlternative {
+				continue
+			}
+			return &feedback{
+				kind:        fbNoImplementation,
+				process:     q.ID,
+				banImplType: qIm.TileType,
+				detail: fmt.Sprintf("process %q starved of %s tiles; displacing %q",
+					p.Name, im.TileType, q.Name),
+			}
+		}
+	}
+	return &feedback{
+		kind:    fbNoImplementation,
+		process: p.ID,
+		detail:  fmt.Sprintf("process %q has no viable implementation left", p.Name),
+	}
+}
+
+// firstFit returns the first tile (in platform declaration order: "the
+// first tile we come across", §3 step 1) that can host the implementation,
+// or nil.
+func (m *Mapper) firstFit(app *model.Application, work *arch.Platform, p *model.Process, im *model.Implementation, cyclesPerPeriod int64, tb *tabu) (*arch.Tile, float64) {
+	for _, t := range work.TilesOfType(im.TileType) {
+		if tb.bansTile(p.ID, t.ID) {
+			continue
+		}
+		util := utilisation(t, cyclesPerPeriod, app.QoS.PeriodNs)
+		if canHost(t, im.MemBytes, util) && hasLocalNICapacity(app, t, p) {
+			return t, util
+		}
+	}
+	return nil, 0
+}
+
+func canHost(t *arch.Tile, memBytes int64, util float64) bool {
+	if t.MaxOccupants > 0 && t.Occupants >= t.MaxOccupants {
+		return false
+	}
+	return t.FreeMem() >= memBytes && t.ReservedUtil+util <= 1.0+utilEps
+}
+
+// hasLocalNICapacity conservatively checks that the tile's network
+// interface could carry all of the process's stream traffic, the "at
+// least, locally" communication-resource check of step 2's tile filter.
+// Channels whose peer ends up on the same tile will not actually use the
+// NI, so this filter is conservative, never optimistic.
+func hasLocalNICapacity(app *model.Application, t *arch.Tile, p *model.Process) bool {
+	if t.NICapBps <= 0 {
+		return true // NI unconstrained
+	}
+	var inBps, outBps int64
+	for _, c := range app.ChannelsOf(p.ID) {
+		bps := channelBps(c, app.QoS.PeriodNs)
+		if c.Dst == p.ID {
+			inBps += bps
+		} else {
+			outBps += bps
+		}
+	}
+	return t.ReservedInBps+inBps <= t.NICapBps && t.ReservedOutBps+outBps <= t.NICapBps
+}
+
+// commEstimate prices the process's channels to already-placed neighbours
+// (pinned endpoints and processes assigned in earlier step-1 iterations)
+// by Manhattan distance, the optional step-1 look-ahead.
+func (m *Mapper) commEstimate(app *model.Application, work *arch.Platform, mp *Mapping, p *model.Process, t *arch.Tile) float64 {
+	params := m.Cfg.energyParams()
+	var e float64
+	for _, c := range app.ChannelsOf(p.ID) {
+		peer := c.Src
+		if peer == p.ID {
+			peer = c.Dst
+		}
+		if peerTile, ok := mp.Tile[peer]; ok {
+			hops := work.Pos(t.ID).Manhattan(work.Pos(peerTile))
+			e += params.CommEnergy(c, hops)
+		}
+	}
+	return e
+}

@@ -1,0 +1,402 @@
+package core
+
+import (
+	"fmt"
+
+	"rtsm/internal/arch"
+	"rtsm/internal/model"
+)
+
+// step2 improves the concrete tile assignment by local search (paper §3,
+// step 2): every candidate either moves a process to the best available
+// tile of the same type or swaps it with another process on the same tile
+// type, so adequacy holds by construction. Candidates are scored by the
+// communication cost model — by default the plain sum of Manhattan
+// distances over all stream channels, the metric of the paper's Table 2,
+// which also embodies the "bonus for proximity to the process's
+// neighbours": closer neighbours mean lower cost.
+func (m *Mapper) step2(app *model.Application, work *arch.Platform, mp *Mapping, tr *Trace) {
+	s := &searchState{m: m, app: app, work: work, mp: mp}
+	s.init()
+	tr.Step2 = append(tr.Step2, Step2Record{
+		Kind:       Initial,
+		Assignment: s.snapshot(),
+		Cost:       s.cost,
+		Remark:     "Initial (greedy) assignment",
+	})
+	switch m.Cfg.Strategy {
+	case BestImprovement:
+		s.runBestImprovement(tr)
+	default:
+		s.runFirstImprovement(tr)
+	}
+}
+
+// searchState carries the mutable view of the assignment during step 2.
+type searchState struct {
+	m    *Mapper
+	app  *model.Application
+	work *arch.Platform
+	mp   *Mapping
+
+	procs []*model.Process // mappable processes in declaration order
+	chans []*model.Channel // stream channels
+	// weight[i] multiplies the Manhattan distance of chans[i]; 1 under
+	// HopSum, traffic × hop energy under TrafficWeighted.
+	weight []float64
+	cost   float64
+}
+
+func (s *searchState) init() {
+	s.procs = s.app.MappableProcesses()
+	s.chans = s.app.StreamChannels()
+	s.weight = make([]float64, len(s.chans))
+	params := s.m.Cfg.energyParams()
+	for i, c := range s.chans {
+		switch s.m.Cfg.CommCost {
+		case TrafficWeighted:
+			s.weight[i] = float64(c.BytesPerPeriod()) * params.HopPerByte
+		default:
+			s.weight[i] = 1
+		}
+	}
+	s.cost = s.totalCost()
+}
+
+// totalCost recomputes the full cost of the current assignment:
+// weighted channel distances, plus the idle energy of powered tiles under
+// the traffic-weighted model.
+func (s *searchState) totalCost() float64 {
+	var total float64
+	for i, c := range s.chans {
+		total += s.weight[i] * float64(s.channelDist(c, nil))
+	}
+	if s.m.Cfg.CommCost == TrafficWeighted {
+		params := s.m.Cfg.energyParams()
+		powered := make(map[arch.TileID]bool)
+		for _, p := range s.procs {
+			powered[s.mp.Tile[p.ID]] = true
+		}
+		for tid := range powered {
+			total += params.IdleEnergy(s.work.Tile(tid))
+		}
+	}
+	return total
+}
+
+// channelDist returns the Manhattan distance of a channel under the
+// current assignment, with an optional override of tile positions (used
+// to evaluate candidates without mutating state). Channels with an
+// unplaced endpoint contribute nothing.
+func (s *searchState) channelDist(c *model.Channel, override map[model.ProcessID]arch.TileID) int {
+	src, ok := s.tileOf(c.Src, override)
+	if !ok {
+		return 0
+	}
+	dst, ok := s.tileOf(c.Dst, override)
+	if !ok {
+		return 0
+	}
+	return s.work.Manhattan(src, dst)
+}
+
+func (s *searchState) tileOf(p model.ProcessID, override map[model.ProcessID]arch.TileID) (arch.TileID, bool) {
+	if override != nil {
+		if t, ok := override[p]; ok {
+			return t, true
+		}
+	}
+	t, ok := s.mp.Tile[p]
+	return t, ok
+}
+
+// candidate is one evaluated reassignment.
+type candidate struct {
+	kind  MoveKind
+	p     *model.Process
+	q     *model.Process // swap partner, nil for moves
+	to    arch.TileID    // move target
+	delta float64        // cost change (negative improves)
+}
+
+// deltaFor evaluates the cost change of a candidate by re-pricing only the
+// channels incident to the affected processes.
+func (s *searchState) deltaFor(override map[model.ProcessID]arch.TileID, affected map[model.ProcessID]bool) float64 {
+	var delta float64
+	for i, c := range s.chans {
+		if !affected[c.Src] && !affected[c.Dst] {
+			continue
+		}
+		delta += s.weight[i] * float64(s.channelDist(c, override)-s.channelDist(c, nil))
+	}
+	if s.m.Cfg.CommCost == TrafficWeighted {
+		delta += s.idleDelta(override)
+	}
+	return delta
+}
+
+// idleDelta prices tiles powered on or off by the candidate (the paper's
+// "being able to turn off parts of the system that are not being used").
+// It compares the full before/after occupancy of the mappable processes,
+// so swaps — which leave both tiles powered — price to zero.
+func (s *searchState) idleDelta(override map[model.ProcessID]arch.TileID) float64 {
+	params := s.m.Cfg.energyParams()
+	before := make(map[arch.TileID]int)
+	after := make(map[arch.TileID]int)
+	for _, p := range s.procs {
+		cur := s.mp.Tile[p.ID]
+		before[cur]++
+		next, _ := s.tileOf(p.ID, override)
+		after[next]++
+	}
+	var delta float64
+	for tid := range before {
+		if after[tid] == 0 {
+			delta -= params.IdleEnergy(s.work.Tile(tid))
+		}
+	}
+	for tid := range after {
+		if before[tid] == 0 {
+			delta += params.IdleEnergy(s.work.Tile(tid))
+		}
+	}
+	return delta
+}
+
+// bestCandidateFor returns the lowest-delta reassignment of process p —
+// "we try to remove it from the tile it is mapped onto and to map it onto
+// the best available tile of the same type. Alternatively, we try to swap
+// the process with another process mapped to the same tile type." Swap
+// partners are restricted to later-declared processes so each unordered
+// pair is evaluated once per pass. Returns nil if p has no candidates.
+func (s *searchState) bestCandidateFor(pi int) *candidate {
+	p := s.procs[pi]
+	cur := s.mp.Tile[p.ID]
+	im := s.mp.Impl[p.ID]
+	curTile := s.work.Tile(cur)
+	var best *candidate
+
+	consider := func(c candidate) {
+		if best == nil || c.delta < best.delta {
+			cc := c
+			best = &cc
+		}
+	}
+
+	// Moves to free capacity on tiles of the same type.
+	cyc, err := im.CyclesPerPeriod(s.app, p)
+	if err != nil {
+		return nil
+	}
+	for _, t := range s.work.TilesOfType(im.TileType) {
+		if t.ID == cur {
+			continue
+		}
+		tUtil := utilisation(t, cyc, s.app.QoS.PeriodNs)
+		if !canHost(t, im.MemBytes, tUtil) || !hasLocalNICapacity(s.app, t, p) {
+			continue
+		}
+		override := map[model.ProcessID]arch.TileID{p.ID: t.ID}
+		delta := s.deltaFor(override, map[model.ProcessID]bool{p.ID: true})
+		consider(candidate{kind: Move, p: p, to: t.ID, delta: delta})
+	}
+
+	// Swaps with later-declared processes on the same tile type.
+	for qi := pi + 1; qi < len(s.procs); qi++ {
+		q := s.procs[qi]
+		qTile := s.mp.Tile[q.ID]
+		if qTile == cur {
+			continue
+		}
+		qIm := s.mp.Impl[q.ID]
+		if s.work.Tile(qTile).Type != curTile.Type || qIm.TileType != im.TileType {
+			continue
+		}
+		if !s.swapFits(p, im, cur, q, qIm, qTile) {
+			continue
+		}
+		override := map[model.ProcessID]arch.TileID{p.ID: qTile, q.ID: cur}
+		delta := s.deltaFor(override, map[model.ProcessID]bool{p.ID: true, q.ID: true})
+		consider(candidate{kind: Swap, p: p, q: q, to: qTile, delta: delta})
+	}
+	return best
+}
+
+// swapFits checks that each tile can absorb the other process after the
+// swap (memory and utilisation with both old reservations removed).
+func (s *searchState) swapFits(p *model.Process, pIm *model.Implementation, pTile arch.TileID,
+	q *model.Process, qIm *model.Implementation, qTile arch.TileID) bool {
+	pc, err := pIm.CyclesPerPeriod(s.app, p)
+	if err != nil {
+		return false
+	}
+	qc, err := qIm.CyclesPerPeriod(s.app, q)
+	if err != nil {
+		return false
+	}
+	tp := s.work.Tile(pTile)
+	tq := s.work.Tile(qTile)
+	pUtilAtQ := utilisation(tq, pc, s.app.QoS.PeriodNs)
+	qUtilAtP := utilisation(tp, qc, s.app.QoS.PeriodNs)
+	pUtilAtP := utilisation(tp, pc, s.app.QoS.PeriodNs)
+	qUtilAtQ := utilisation(tq, qc, s.app.QoS.PeriodNs)
+	memOKp := tp.ReservedMem-pIm.MemBytes+qIm.MemBytes <= tp.MemBytes
+	memOKq := tq.ReservedMem-qIm.MemBytes+pIm.MemBytes <= tq.MemBytes
+	utilOKp := tp.ReservedUtil-pUtilAtP+qUtilAtP <= 1.0+utilEps
+	utilOKq := tq.ReservedUtil-qUtilAtQ+pUtilAtQ <= 1.0+utilEps
+	return memOKp && memOKq && utilOKp && utilOKq
+}
+
+// applyCandidate commits a candidate to the mapping and the platform's
+// reservation state.
+func (s *searchState) applyCandidate(c *candidate) {
+	relocate := func(p *model.Process, to arch.TileID) {
+		im := s.mp.Impl[p.ID]
+		from := s.work.Tile(s.mp.Tile[p.ID])
+		dst := s.work.Tile(to)
+		cyc, _ := im.CyclesPerPeriod(s.app, p)
+		from.ReservedMem -= im.MemBytes
+		from.ReservedUtil -= utilisation(from, cyc, s.app.QoS.PeriodNs)
+		from.Occupants--
+		dst.ReservedMem += im.MemBytes
+		dst.ReservedUtil += utilisation(dst, cyc, s.app.QoS.PeriodNs)
+		dst.Occupants++
+		s.mp.Tile[p.ID] = to
+	}
+	switch c.kind {
+	case Move:
+		relocate(c.p, c.to)
+	case Swap:
+		pTile := s.mp.Tile[c.p.ID]
+		qTile := s.mp.Tile[c.q.ID]
+		relocate(c.p, qTile)
+		relocate(c.q, pTile)
+	}
+	s.cost += c.delta
+}
+
+// snapshot renders tile name → process names for trace records.
+func (s *searchState) snapshot() map[string]string {
+	out := make(map[string]string)
+	for _, p := range s.procs {
+		name := s.work.Tile(s.mp.Tile[p.ID]).Name
+		if out[name] != "" {
+			out[name] += "+" + p.Name
+		} else {
+			out[name] = p.Name
+		}
+	}
+	return out
+}
+
+// snapshotWith renders the assignment as it would look after a candidate.
+func (s *searchState) snapshotWith(c *candidate) map[string]string {
+	override := map[model.ProcessID]arch.TileID{}
+	switch c.kind {
+	case Move:
+		override[c.p.ID] = c.to
+	case Swap:
+		override[c.p.ID] = s.mp.Tile[c.q.ID]
+		override[c.q.ID] = s.mp.Tile[c.p.ID]
+	}
+	out := make(map[string]string)
+	for _, p := range s.procs {
+		t, _ := s.tileOf(p.ID, override)
+		name := s.work.Tile(t).Name
+		if out[name] != "" {
+			out[name] += "+" + p.Name
+		} else {
+			out[name] = p.Name
+		}
+	}
+	return out
+}
+
+func (s *searchState) record(tr *Trace, iter int, c *candidate, accepted bool) {
+	remark := "No improvement, revert"
+	if accepted {
+		remark = "Improvement, keep"
+	}
+	rec := Step2Record{
+		Iteration:  iter,
+		Kind:       c.kind,
+		ProcA:      c.p.Name,
+		TileA:      s.work.Tile(s.mp.Tile[c.p.ID]).Name,
+		Assignment: s.snapshotWith(c),
+		Cost:       s.cost + c.delta,
+		Accepted:   accepted,
+		Remark:     remark,
+	}
+	if c.q != nil {
+		rec.ProcB = c.q.Name
+		rec.TileB = s.work.Tile(s.mp.Tile[c.q.ID]).Name
+	} else {
+		rec.TileB = s.work.Tile(c.to).Name
+	}
+	tr.Step2 = append(tr.Step2, rec)
+}
+
+// runFirstImprovement scans processes in declaration order; each process
+// contributes its best reassignment as one evaluated iteration, and the
+// first strict improvement is applied, restarting the scan. This is the
+// discipline under which the paper's Table 2 unfolds row by row.
+func (s *searchState) runFirstImprovement(tr *Trace) {
+	iter := 0
+	maxIter := s.m.Cfg.maxStep2()
+	for {
+		improved := false
+		for pi := range s.procs {
+			c := s.bestCandidateFor(pi)
+			if c == nil {
+				continue
+			}
+			iter++
+			if iter > maxIter {
+				tr.Notes = append(tr.Notes, fmt.Sprintf("step 2 stopped at iteration cap %d", maxIter))
+				return
+			}
+			accept := c.delta < -s.m.Cfg.MinGain
+			s.record(tr, iter, c, accept)
+			if accept {
+				s.applyCandidate(c)
+				improved = true
+				break // restart the scan from the first process
+			}
+		}
+		if !improved {
+			tr.Notes = append(tr.Notes, "No further choices")
+			return
+		}
+	}
+}
+
+// runBestImprovement applies the globally best improving candidate each
+// iteration — the literal reading of "only the best reassignment is
+// actually performed every iteration".
+func (s *searchState) runBestImprovement(tr *Trace) {
+	iter := 0
+	maxIter := s.m.Cfg.maxStep2()
+	for {
+		var best *candidate
+		for pi := range s.procs {
+			if c := s.bestCandidateFor(pi); c != nil && (best == nil || c.delta < best.delta) {
+				best = c
+			}
+		}
+		if best == nil {
+			tr.Notes = append(tr.Notes, "No further choices")
+			return
+		}
+		iter++
+		if iter > maxIter {
+			tr.Notes = append(tr.Notes, fmt.Sprintf("step 2 stopped at iteration cap %d", maxIter))
+			return
+		}
+		accept := best.delta < -s.m.Cfg.MinGain
+		s.record(tr, iter, best, accept)
+		if !accept {
+			return // the best candidate does not improve: local optimum
+		}
+		s.applyCandidate(best)
+	}
+}

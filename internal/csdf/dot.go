@@ -1,0 +1,40 @@
+package csdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz syntax. Router actors (names starting
+// with "R(") are drawn as small circles like the paper's Figure 3; other
+// actors as boxes annotated with their WCET pattern. Edges carry the
+// production/consumption patterns, initial tokens and capacities.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [fontsize=10];\n", g.Name)
+	for _, a := range g.Actors {
+		if strings.HasPrefix(a.Name, "R(") {
+			fmt.Fprintf(&b, "  a%d [label=\"R\\n%s\", shape=circle];\n", a.ID, a.WCET)
+		} else {
+			fmt.Fprintf(&b, "  a%d [label=\"%s\\n%s\", shape=box];\n", a.ID, escape(a.Name), a.WCET)
+		}
+	}
+	for _, c := range g.Channels {
+		var attrs []string
+		label := fmt.Sprintf("%s/%s", c.Prod, c.Cons)
+		if c.Capacity > 0 {
+			label += fmt.Sprintf("\\ncap=%d", c.Capacity)
+		}
+		attrs = append(attrs, fmt.Sprintf("label=\"%s\"", label))
+		if c.Initial > 0 {
+			attrs = append(attrs, fmt.Sprintf("taillabel=\"•%d\"", c.Initial))
+		}
+		fmt.Fprintf(&b, "  a%d -> a%d [%s];\n", c.Src, c.Dst, strings.Join(attrs, ", "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	return strings.NewReplacer(`"`, `\"`, `\`, `\\`).Replace(s)
+}

@@ -1,0 +1,401 @@
+package csdf
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+)
+
+// ExecOptions configures self-timed execution.
+type ExecOptions struct {
+	// WarmupIterations are executed before measurement starts, letting the
+	// self-timed schedule settle into its periodic regime.
+	WarmupIterations int
+	// MeasureIterations is the number of graph iterations the period is
+	// averaged over.
+	MeasureIterations int
+	// Observe selects the actor whose completed iterations delimit the
+	// measurement. Negative selects the default: the first actor with no
+	// outgoing channels, or actor 0 if every actor has successors.
+	Observe ActorID
+	// Source overrides the actor whose firing starts define the beginning
+	// of an iteration for latency accounting. Negative selects the first
+	// actor with no incoming channels.
+	Source ActorID
+	// MaxEvents bounds the number of firing completions before execution
+	// aborts (0 means a generous default). It guards against runaway
+	// execution of inconsistent graphs.
+	MaxEvents int
+	// ExclusiveGroups lists sets of actors that cannot fire concurrently,
+	// e.g. the actors mapped onto one processing tile. Within a group,
+	// firings serialise; among ready members, the least-fired goes first
+	// (round-robin fairness).
+	ExclusiveGroups [][]ActorID
+	// StaticOrders prescribes, per processor, a cyclic firing sequence:
+	// entry k of the sequence is the only actor of that group allowed to
+	// start the group's k-th firing (modulo the sequence length). This is
+	// the static-order (temporal) schedule of Smit et al. (SoC 2005),
+	// which the paper's spatial mapping is explicitly separated from.
+	// Actors in a sequence are implicitly mutually exclusive. An actor
+	// may appear in at most one sequence and must not additionally appear
+	// in ExclusiveGroups.
+	StaticOrders [][]ActorID
+}
+
+// DefaultExecOptions returns the options used when zero-valued fields are
+// passed to Execute.
+func DefaultExecOptions() ExecOptions {
+	return ExecOptions{WarmupIterations: 4, MeasureIterations: 8, Observe: -1, Source: -1}
+}
+
+// ExecResult reports the outcome of self-timed execution.
+type ExecResult struct {
+	// Period is the steady-state time per graph iteration, averaged over
+	// the measured iterations, in the graph's time unit.
+	Period float64
+	// Latency is the largest observed span from the source actor starting
+	// an iteration's first firing to the observed actor completing that
+	// iteration's last firing.
+	Latency int64
+	// Deadlocked reports that execution stopped with work remaining but no
+	// actor able to fire.
+	Deadlocked bool
+	// DeadlockReport describes the blocked state when Deadlocked is true.
+	DeadlockReport string
+	// EmptyBlocks counts, per channel, firing attempts vetoed by a lack of
+	// tokens; FullBlocks counts vetoes by a lack of space. Buffer sizing
+	// uses FullBlocks to pick the channel to grow.
+	EmptyBlocks map[ChannelID]int64
+	FullBlocks  map[ChannelID]int64
+	// Iterations is the number of complete iterations the observed actor
+	// finished.
+	Iterations int
+	// Time is the simulated time at which execution stopped.
+	Time int64
+	// BusyTime[a] is the total time actor a spent firing; together with
+	// Time it yields per-actor utilisation.
+	BusyTime []int64
+}
+
+// Utilisation returns actor a's busy fraction over the whole run, in
+// [0, 1]. It identifies throughput bottlenecks for refinement feedback.
+func (r *ExecResult) Utilisation(a ActorID) float64 {
+	if r.Time == 0 {
+		return 0
+	}
+	return float64(r.BusyTime[a]) / float64(r.Time)
+}
+
+type execEvent struct {
+	time  int64
+	seq   int // tie-break for determinism
+	actor ActorID
+}
+
+type eventHeap []execEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(execEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Execute runs the graph self-timed: every actor fires as soon as its
+// current phase's input tokens are available, the space its production
+// needs is free on all bounded output channels, and the actor itself is
+// idle (no auto-concurrency). Tokens are consumed when a phase starts and
+// produced when it completes, the conservative CSDF firing rule.
+//
+// Execution stops when the observed actor completes the requested warmup
+// plus measurement iterations, on deadlock, or at the event bound.
+func (g *Graph) Execute(opts ExecOptions) (*ExecResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	rv, err := Repetition(g)
+	if err != nil {
+		return nil, err
+	}
+	if opts.WarmupIterations == 0 && opts.MeasureIterations == 0 &&
+		opts.Observe == 0 && opts.Source == 0 && opts.MaxEvents == 0 {
+		groups := opts.ExclusiveGroups
+		orders := opts.StaticOrders
+		opts = DefaultExecOptions()
+		opts.ExclusiveGroups = groups
+		opts.StaticOrders = orders
+	}
+	if opts.WarmupIterations <= 0 && opts.MeasureIterations <= 0 {
+		d := DefaultExecOptions()
+		opts.WarmupIterations, opts.MeasureIterations = d.WarmupIterations, d.MeasureIterations
+	}
+	if opts.MeasureIterations <= 0 {
+		opts.MeasureIterations = 1
+	}
+	if opts.MaxEvents <= 0 {
+		opts.MaxEvents = 20_000_000
+	}
+	observe := opts.Observe
+	if observe < 0 {
+		observe = 0
+		for _, a := range g.Actors {
+			if len(g.out[a.ID]) == 0 {
+				observe = a.ID
+				break
+			}
+		}
+	}
+	source := opts.Source
+	if source < 0 {
+		source = 0
+		for _, a := range g.Actors {
+			if len(g.in[a.ID]) == 0 {
+				source = a.ID
+				break
+			}
+		}
+	}
+
+	n := len(g.Actors)
+	totalIters := int64(opts.WarmupIterations + opts.MeasureIterations)
+	firingCap := make([]int64, n) // stop actors that ran far enough ahead
+	perIter := make([]int64, n)
+	for i := range g.Actors {
+		perIter[i] = rv.Firings(g, ActorID(i))
+		firingCap[i] = (totalIters + 1) * perIter[i]
+	}
+
+	tokens := make([]int64, len(g.Channels))
+	pending := make([]int64, len(g.Channels)) // space reserved by in-flight firings
+	for i, c := range g.Channels {
+		tokens[i] = c.Initial
+	}
+	fired := make([]int64, n)     // started firings
+	done := make([]int64, n)      // completed firings
+	busyUntil := make([]int64, n) // next time the actor is idle
+	busyTime := make([]int64, n)
+	groupOf := make([]int, n)
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	for gi, group := range opts.ExclusiveGroups {
+		for _, a := range group {
+			groupOf[a] = gi
+		}
+	}
+	groupActive := make([]int, len(opts.ExclusiveGroups))
+	seqGroupOf := make([]int, n)
+	for i := range seqGroupOf {
+		seqGroupOf[i] = -1
+	}
+	for si, seq := range opts.StaticOrders {
+		for _, a := range seq {
+			seqGroupOf[a] = si
+		}
+	}
+	seqPos := make([]int64, len(opts.StaticOrders))
+	seqBusy := make([]int, len(opts.StaticOrders))
+	res := &ExecResult{
+		EmptyBlocks: make(map[ChannelID]int64),
+		FullBlocks:  make(map[ChannelID]int64),
+	}
+
+	// Iteration bookkeeping for period and latency.
+	iterDone := make([]int64, 0, totalIters)     // completion time of observed actor's iterations
+	iterSrcStart := make([]int64, 0, totalIters) // start time of source's first firing per iteration
+
+	var h eventHeap
+	seq := 0
+	now := int64(0)
+	events := 0
+
+	canFire := func(a ActorID) bool {
+		if fired[a] >= firingCap[a] || busyUntil[a] > now {
+			return false
+		}
+		if gi := groupOf[a]; gi >= 0 && groupActive[gi] > 0 {
+			return false
+		}
+		if si := seqGroupOf[a]; si >= 0 {
+			seq := opts.StaticOrders[si]
+			if seqBusy[si] > 0 || seq[seqPos[si]%int64(len(seq))] != a {
+				return false
+			}
+		}
+		phase := fired[a] % int64(g.Actors[a].Phases())
+		for _, cid := range g.in[a] {
+			c := g.Channels[cid]
+			if tokens[cid] < c.Cons.At(phase) {
+				res.EmptyBlocks[cid]++
+				return false
+			}
+		}
+		for _, cid := range g.out[a] {
+			c := g.Channels[cid]
+			if c.Capacity > 0 && tokens[cid]+pending[cid]+c.Prod.At(phase) > c.Capacity {
+				res.FullBlocks[cid]++
+				return false
+			}
+		}
+		return true
+	}
+	start := func(a ActorID) {
+		phase := fired[a] % int64(g.Actors[a].Phases())
+		if a == source && fired[a]%perIter[a] == 0 {
+			iterSrcStart = append(iterSrcStart, now)
+		}
+		for _, cid := range g.in[a] {
+			tokens[cid] -= g.Channels[cid].Cons.At(phase)
+		}
+		for _, cid := range g.out[a] {
+			pending[cid] += g.Channels[cid].Prod.At(phase)
+		}
+		w := g.Actors[a].WCET.At(phase)
+		fired[a]++
+		busyUntil[a] = now + w
+		busyTime[a] += w
+		if gi := groupOf[a]; gi >= 0 {
+			groupActive[gi]++
+		}
+		if si := seqGroupOf[a]; si >= 0 {
+			seqBusy[si]++
+			seqPos[si]++
+		}
+		heap.Push(&h, execEvent{time: now + w, seq: seq, actor: a})
+		seq++
+	}
+	finish := func(a ActorID) {
+		phase := done[a] % int64(g.Actors[a].Phases())
+		for _, cid := range g.out[a] {
+			p := g.Channels[cid].Prod.At(phase)
+			pending[cid] -= p
+			tokens[cid] += p
+		}
+		done[a]++
+		if gi := groupOf[a]; gi >= 0 {
+			groupActive[gi]--
+		}
+		if si := seqGroupOf[a]; si >= 0 {
+			seqBusy[si]--
+		}
+		if a == observe && done[a]%perIter[a] == 0 {
+			iterDone = append(iterDone, now)
+		}
+	}
+
+	for {
+		// Start every actor that can fire; consuming tokens can free
+		// bounded-channel space, so iterate to a fixpoint. Within an
+		// exclusive group, the ready member with the fewest started
+		// firings goes first (round-robin fairness): a fixed scan order
+		// would let one member monopolise the group.
+		for {
+			progressed := false
+			for a := 0; a < n; a++ {
+				if groupOf[a] >= 0 {
+					continue
+				}
+				for canFire(ActorID(a)) {
+					start(ActorID(a))
+					progressed = true
+				}
+			}
+			for gi, group := range opts.ExclusiveGroups {
+				if groupActive[gi] > 0 {
+					continue
+				}
+				best := ActorID(-1)
+				for _, a := range group {
+					if canFire(a) && (best < 0 || fired[a] < fired[best]) {
+						best = a
+					}
+				}
+				if best >= 0 {
+					start(best)
+					progressed = true
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+		if int64(len(iterDone)) >= totalIters {
+			break
+		}
+		if h.Len() == 0 {
+			res.Deadlocked = true
+			res.DeadlockReport = g.deadlockReport(fired, done, tokens, firingCap)
+			break
+		}
+		ev := heap.Pop(&h).(execEvent)
+		now = ev.time
+		finish(ev.actor)
+		// Drain all completions at the same instant before restarting.
+		for h.Len() > 0 && h[0].time == now {
+			ev = heap.Pop(&h).(execEvent)
+			finish(ev.actor)
+		}
+		events++
+		if events > opts.MaxEvents {
+			return nil, fmt.Errorf("csdf: execution of %q exceeded %d events; graph may not settle", g.Name, opts.MaxEvents)
+		}
+	}
+
+	res.Iterations = len(iterDone)
+	res.Time = now
+	res.BusyTime = busyTime
+	if len(iterDone) > opts.WarmupIterations {
+		m := len(iterDone) - 1
+		w := opts.WarmupIterations
+		if w >= m {
+			w = 0
+		}
+		res.Period = float64(iterDone[m]-iterDone[w]) / float64(m-w)
+	}
+	for i := 0; i < len(iterDone) && i < len(iterSrcStart); i++ {
+		if lat := iterDone[i] - iterSrcStart[i]; lat > res.Latency {
+			res.Latency = lat
+		}
+	}
+	return res, nil
+}
+
+func (g *Graph) deadlockReport(fired, done, tokens, cap []int64) string {
+	var b strings.Builder
+	b.WriteString("deadlock: ")
+	for a, actor := range g.Actors {
+		if fired[a] >= cap[a] {
+			continue
+		}
+		phase := fired[a] % int64(actor.Phases())
+		var why []string
+		for _, cid := range g.in[a] {
+			c := g.Channels[cid]
+			if need := c.Cons.At(phase); tokens[cid] < need {
+				why = append(why, fmt.Sprintf("needs %d tokens on %s→%s (has %d)",
+					need, g.Actors[c.Src].Name, actor.Name, tokens[cid]))
+			}
+		}
+		for _, cid := range g.out[a] {
+			c := g.Channels[cid]
+			if c.Capacity > 0 && tokens[cid]+c.Prod.At(phase) > c.Capacity {
+				why = append(why, fmt.Sprintf("needs %d space on %s→%s (cap %d, %d full)",
+					c.Prod.At(phase), actor.Name, g.Actors[c.Dst].Name, c.Capacity, tokens[cid]))
+			}
+		}
+		if len(why) > 0 {
+			fmt.Fprintf(&b, "%s blocked (%s); ", actor.Name, strings.Join(why, ", "))
+		}
+	}
+	return b.String()
+}

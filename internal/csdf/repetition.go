@@ -1,0 +1,123 @@
+package csdf
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// RepetitionVector holds, for each actor, the number of complete phase
+// cycles it executes per graph iteration. Firings per iteration is
+// Cycles[a] × Phases(a).
+type RepetitionVector struct {
+	// Cycles[a] is the cycle count of actor a in one graph iteration.
+	Cycles []int64
+}
+
+// Firings returns the number of firings of actor a per graph iteration.
+func (rv *RepetitionVector) Firings(g *Graph, a ActorID) int64 {
+	return rv.Cycles[a] * int64(g.Actors[a].Phases())
+}
+
+// Repetition computes the repetition vector of the graph by solving the
+// balance equations
+//
+//	Cycles[src] × Sum(Prod) = Cycles[dst] × Sum(Cons)
+//
+// for every channel. It returns an error if the graph is inconsistent (no
+// non-trivial solution exists) or if some connected component contains an
+// actor that never produces or consumes tokens on a channel.
+func Repetition(g *Graph) (*RepetitionVector, error) {
+	n := len(g.Actors)
+	if n == 0 {
+		return &RepetitionVector{}, nil
+	}
+	rat := make([]*big.Rat, n) // nil = unvisited
+	// Breadth-first propagation of rational cycle counts per weakly
+	// connected component, then scaling to the smallest integer vector.
+	for start := 0; start < n; start++ {
+		if rat[start] != nil {
+			continue
+		}
+		rat[start] = big.NewRat(1, 1)
+		queue := []ActorID{ActorID(start)}
+		for len(queue) > 0 {
+			a := queue[0]
+			queue = queue[1:]
+			visit := func(c *Channel) error {
+				ps, cs := c.Prod.Sum(), c.Cons.Sum()
+				if ps == 0 || cs == 0 {
+					return fmt.Errorf("csdf: channel %d (%s→%s) has a zero total rate; graph cannot iterate",
+						c.ID, g.Actors[c.Src].Name, g.Actors[c.Dst].Name)
+				}
+				var from, to ActorID
+				var num, den int64
+				if c.Src == a {
+					from, to = c.Src, c.Dst
+					num, den = ps, cs // cycles[dst] = cycles[src] * ps/cs
+				} else {
+					from, to = c.Dst, c.Src
+					num, den = cs, ps
+				}
+				want := new(big.Rat).Mul(rat[from], big.NewRat(num, den))
+				if rat[to] == nil {
+					rat[to] = want
+					queue = append(queue, to)
+				} else if rat[to].Cmp(want) != 0 {
+					return fmt.Errorf("csdf: inconsistent rates at channel %d (%s→%s): graph has no repetition vector",
+						c.ID, g.Actors[c.Src].Name, g.Actors[c.Dst].Name)
+				}
+				return nil
+			}
+			for _, cid := range g.out[a] {
+				if err := visit(g.Channels[cid]); err != nil {
+					return nil, err
+				}
+			}
+			for _, cid := range g.in[a] {
+				if err := visit(g.Channels[cid]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Scale to the least common denominator, then divide by the overall
+	// GCD so the vector is the canonical smallest one.
+	lcm := big.NewInt(1)
+	for _, r := range rat {
+		lcm = lcmInt(lcm, r.Denom())
+	}
+	ints := make([]*big.Int, n)
+	gcd := new(big.Int)
+	for i, r := range rat {
+		v := new(big.Int).Mul(r.Num(), new(big.Int).Div(lcm, r.Denom()))
+		ints[i] = v
+		if i == 0 {
+			gcd.Set(v)
+		} else {
+			gcd.GCD(nil, nil, gcd, v)
+		}
+	}
+	out := make([]int64, n)
+	for i, v := range ints {
+		q := new(big.Int).Div(v, gcd)
+		if !q.IsInt64() || q.Int64() <= 0 {
+			return nil, fmt.Errorf("csdf: repetition count of actor %q out of range", g.Actors[i].Name)
+		}
+		out[i] = q.Int64()
+	}
+	// Verify every channel balances over one iteration; propagation
+	// guarantees this for trees, verification covers cycles.
+	for _, c := range g.Channels {
+		if out[c.Src]*c.Prod.Sum() != out[c.Dst]*c.Cons.Sum() {
+			return nil, fmt.Errorf("csdf: channel %d (%s→%s) does not balance",
+				c.ID, g.Actors[c.Src].Name, g.Actors[c.Dst].Name)
+		}
+	}
+	return &RepetitionVector{Cycles: out}, nil
+}
+
+func lcmInt(a, b *big.Int) *big.Int {
+	g := new(big.Int).GCD(nil, nil, a, b)
+	out := new(big.Int).Div(a, g)
+	return out.Mul(out, b)
+}

@@ -1,0 +1,147 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rtsm/internal/arch"
+	"rtsm/internal/csdf"
+	"rtsm/internal/model"
+)
+
+func fixture(t *testing.T) (*model.Application, *arch.Platform, *model.Implementation, *model.Implementation) {
+	t.Helper()
+	app := model.NewApplication("app", model.QoS{PeriodNs: 4000})
+	a := app.AddProcess("a")
+	b := app.AddProcess("b")
+	app.Connect(a, b, 64, 4) // 256 B per period
+
+	plat := arch.NewMesh("p", 3, 1, 1e9)
+	plat.AttachTile(arch.TileSpec{Name: "T0", Type: arch.TypeARM, At: arch.Pt(0, 0)})
+	plat.AttachTile(arch.TileSpec{Name: "T1", Type: arch.TypeMontium, At: arch.Pt(2, 0)})
+
+	mk := func(name string, tt arch.TileType, e float64) *model.Implementation {
+		return &model.Implementation{
+			Process: name, TileType: tt, WCET: csdf.Vals(10),
+			EnergyPerPeriod: e,
+		}
+	}
+	return app, plat, mk("a", arch.TypeARM, 60), mk("b", arch.TypeMontium, 143)
+}
+
+func TestCommEnergy(t *testing.T) {
+	app, _, _, _ := fixture(t)
+	p := DefaultParams()
+	c := app.Channels[0]
+	got := p.CommEnergy(c, 2)
+	want := 256 * (2*p.NIPerByte + 2*p.HopPerByte)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("CommEnergy = %v, want %v", got, want)
+	}
+	if p.CommEnergy(c, 0) != 0 {
+		t.Error("same-tile communication must be free")
+	}
+}
+
+func TestCommEnergyMonotoneInHops(t *testing.T) {
+	app, _, _, _ := fixture(t)
+	p := DefaultParams()
+	c := app.Channels[0]
+	prev := 0.0
+	for hops := 1; hops < 10; hops++ {
+		e := p.CommEnergy(c, hops)
+		if e <= prev {
+			t.Fatalf("CommEnergy not increasing at %d hops", hops)
+		}
+		prev = e
+	}
+}
+
+func TestEvaluateBreakdown(t *testing.T) {
+	app, plat, imA, imB := fixture(t)
+	p := DefaultParams()
+	asg := Assignment{
+		Impl: map[model.ProcessID]*model.Implementation{0: imA, 1: imB},
+		Tile: map[model.ProcessID]arch.TileID{0: 0, 1: 1},
+		Hops: map[model.ChannelID]int{0: 2},
+	}
+	b := p.Evaluate(app, plat, asg)
+	if b.Processing != 203 {
+		t.Errorf("Processing = %v, want 203", b.Processing)
+	}
+	wantComm := 256 * (2*p.NIPerByte + 2*p.HopPerByte)
+	if math.Abs(b.Communication-wantComm) > 1e-9 {
+		t.Errorf("Communication = %v, want %v", b.Communication, wantComm)
+	}
+	wantIdle := p.IdlePerPeriod[arch.TypeARM] + p.IdlePerPeriod[arch.TypeMontium]
+	if math.Abs(b.Idle-wantIdle) > 1e-9 {
+		t.Errorf("Idle = %v, want %v", b.Idle, wantIdle)
+	}
+	if math.Abs(b.Total()-(b.Processing+b.Communication+b.Idle)) > 1e-9 {
+		t.Error("Total is not the sum of components")
+	}
+}
+
+func TestEvaluateFallsBackToManhattan(t *testing.T) {
+	app, plat, imA, imB := fixture(t)
+	p := DefaultParams()
+	asg := Assignment{
+		Impl: map[model.ProcessID]*model.Implementation{0: imA, 1: imB},
+		Tile: map[model.ProcessID]arch.TileID{0: 0, 1: 1},
+		// no Hops: estimate must use Manhattan distance (2).
+	}
+	b := p.Evaluate(app, plat, asg)
+	want := 256 * (2*p.NIPerByte + 2*p.HopPerByte)
+	if math.Abs(b.Communication-want) > 1e-9 {
+		t.Errorf("Communication = %v, want Manhattan estimate %v", b.Communication, want)
+	}
+}
+
+func TestEvaluateSharedTileNoIdleDouble(t *testing.T) {
+	app, plat, imA, imB := fixture(t)
+	p := DefaultParams()
+	asg := Assignment{
+		Impl: map[model.ProcessID]*model.Implementation{0: imA, 1: imB},
+		Tile: map[model.ProcessID]arch.TileID{0: 0, 1: 0}, // both on T0
+	}
+	b := p.Evaluate(app, plat, asg)
+	if b.Communication != 0 {
+		t.Errorf("same-tile Communication = %v, want 0", b.Communication)
+	}
+	if b.Idle != p.IdlePerPeriod[arch.TypeARM] {
+		t.Errorf("Idle = %v, want single tile's idle", b.Idle)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{Processing: 1, Communication: 2, Idle: 3}
+	if got := b.String(); got == "" || b.Total() != 6 {
+		t.Errorf("String/Total wrong: %q %v", got, b.Total())
+	}
+}
+
+func TestDetailedMatchesEvaluate(t *testing.T) {
+	app, plat, imA, imB := fixture(t)
+	p := DefaultParams()
+	asg := Assignment{
+		Impl: map[model.ProcessID]*model.Implementation{0: imA, 1: imB},
+		Tile: map[model.ProcessID]arch.TileID{0: 0, 1: 1},
+		Hops: map[model.ChannelID]int{0: 2},
+	}
+	rep := p.Detailed(app, plat, asg)
+	sum := p.Evaluate(app, plat, asg)
+	if math.Abs(rep.Breakdown.Total()-sum.Total()) > 1e-9 {
+		t.Errorf("Detailed total %v != Evaluate total %v", rep.Breakdown.Total(), sum.Total())
+	}
+	if len(rep.Processes) != 2 || len(rep.Channels) != 1 || len(rep.Tiles) != 2 {
+		t.Errorf("itemisation wrong: %d procs, %d chans, %d tiles",
+			len(rep.Processes), len(rep.Channels), len(rep.Tiles))
+	}
+	s := rep.String()
+	for _, want := range []string{"processing:", "communication:", "idle", "a@ARM"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}

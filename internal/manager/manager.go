@@ -1,0 +1,156 @@
+// Package manager implements the on-line resource manager the paper's
+// setting presumes (§1.3: "the spatial mapping is performed always when a
+// new streaming application is started"): applications arrive and leave at
+// run time, each arrival is mapped against the platform's actual residual
+// resources, admitted if a feasible mapping exists, and holds its
+// reservations until it stops. This is the component a deployment would
+// run on the control processor; the examples and experiment E12 exercise
+// it.
+package manager
+
+import (
+	"fmt"
+	"sort"
+
+	"rtsm/internal/arch"
+	"rtsm/internal/core"
+	"rtsm/internal/model"
+)
+
+// Admission records one running application.
+type Admission struct {
+	App    *model.Application
+	Result *core.Result
+	// Seq is the admission order, for deterministic reporting.
+	Seq int
+}
+
+// RejectionError reports why an application was not admitted.
+type RejectionError struct {
+	App    string
+	Reason string
+}
+
+func (e *RejectionError) Error() string {
+	return fmt.Sprintf("manager: %q rejected: %s", e.App, e.Reason)
+}
+
+// Manager owns a platform and the set of admitted applications.
+type Manager struct {
+	plat    *arch.Platform
+	cfg     core.Config
+	running map[string]*Admission
+	seq     int
+}
+
+// New returns a manager over the given platform. The platform is owned by
+// the manager from here on: reservations of admitted applications live on
+// it.
+func New(plat *arch.Platform, cfg core.Config) *Manager {
+	return &Manager{plat: plat, cfg: cfg, running: make(map[string]*Admission)}
+}
+
+// Platform exposes the managed platform for inspection (not mutation).
+func (m *Manager) Platform() *arch.Platform { return m.plat }
+
+// Start maps the application against the current platform state and
+// admits it when feasible. Application names identify admissions and must
+// be unique among running applications.
+func (m *Manager) Start(app *model.Application, lib *model.Library) (*Admission, error) {
+	if _, dup := m.running[app.Name]; dup {
+		return nil, fmt.Errorf("manager: application %q already running", app.Name)
+	}
+	mapper := &core.Mapper{Lib: lib, Cfg: m.cfg}
+	res, err := mapper.Map(app, m.plat)
+	if err != nil {
+		return nil, &RejectionError{App: app.Name, Reason: err.Error()}
+	}
+	if !res.Feasible {
+		reason := "no feasible mapping with current occupancy"
+		if len(res.Trace.Notes) > 0 {
+			reason = res.Trace.Notes[len(res.Trace.Notes)-1]
+		}
+		return nil, &RejectionError{App: app.Name, Reason: reason}
+	}
+	if err := core.Apply(m.plat, res); err != nil {
+		// Map works on a clone; Apply re-validates on the live platform.
+		// A failure here means the platform changed between the two,
+		// which cannot happen single-threaded — treat as a rejection.
+		return nil, &RejectionError{App: app.Name, Reason: err.Error()}
+	}
+	m.seq++
+	ad := &Admission{App: app, Result: res, Seq: m.seq}
+	m.running[app.Name] = ad
+	return ad, nil
+}
+
+// Stop releases the named application's resources.
+func (m *Manager) Stop(name string) error {
+	ad, ok := m.running[name]
+	if !ok {
+		return fmt.Errorf("manager: application %q is not running", name)
+	}
+	core.Remove(m.plat, ad.Result)
+	delete(m.running, name)
+	return nil
+}
+
+// Running lists admitted applications in admission order.
+func (m *Manager) Running() []*Admission {
+	out := make([]*Admission, 0, len(m.running))
+	for _, ad := range m.running {
+		out = append(out, ad)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// TotalEnergy sums the per-period energy of all running applications.
+// Periods may differ between applications; the sum is meaningful as a
+// power-proportional figure when periods are equal (as in the
+// experiments) and otherwise serves as a coarse load indicator.
+func (m *Manager) TotalEnergy() float64 {
+	var e float64
+	for _, ad := range m.running {
+		e += ad.Result.Energy.Total()
+	}
+	return e
+}
+
+// Load summarises platform occupancy: fraction of tiles powered, mean
+// utilisation of powered tiles, and fraction of total link capacity
+// reserved.
+type Load struct {
+	TilesPowered int
+	TilesTotal   int
+	MeanUtil     float64
+	LinkReserved float64 // fraction of aggregate link capacity
+}
+
+// Load computes the current occupancy summary.
+func (m *Manager) Load() Load {
+	var l Load
+	var utilSum float64
+	for _, t := range m.plat.Tiles {
+		if t.Type == arch.TypeSource || t.Type == arch.TypeSink {
+			continue
+		}
+		l.TilesTotal++
+		if t.Occupants > 0 {
+			l.TilesPowered++
+			utilSum += t.ReservedUtil
+		}
+	}
+	if l.TilesPowered > 0 {
+		l.MeanUtil = utilSum / float64(l.TilesPowered)
+	}
+	var cap, res int64
+	for _, link := range m.plat.Links {
+		cap += link.CapBps
+		res += link.ReservedBps
+	}
+	if cap > 0 {
+		l.LinkReserved = float64(res) / float64(cap)
+	}
+	return l
+}

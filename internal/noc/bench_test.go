@@ -1,0 +1,49 @@
+package noc
+
+import (
+	"testing"
+
+	"rtsm/internal/arch"
+)
+
+func BenchmarkShortestAvailable8x8(b *testing.B) {
+	p := arch.NewMesh("b", 8, 8, 1000)
+	from := p.RouterAt(arch.Pt(0, 0)).ID
+	to := p.RouterAt(arch.Pt(7, 7)).ID
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ShortestAvailable(p, from, to, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShortestAvailableCongested(b *testing.B) {
+	p := arch.NewMesh("b", 8, 8, 1000)
+	// Saturate a central corridor so the search must detour.
+	for y := 1; y < 7; y++ {
+		a := p.RouterAt(arch.Pt(3, y)).ID
+		c := p.RouterAt(arch.Pt(4, y)).ID
+		p.LinkBetween(a, c).ReservedBps = 1000
+	}
+	from := p.RouterAt(arch.Pt(0, 3)).ID
+	to := p.RouterAt(arch.Pt(7, 3)).ID
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ShortestAvailable(p, from, to, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXY8x8(b *testing.B) {
+	p := arch.NewMesh("b", 8, 8, 1000)
+	from := p.RouterAt(arch.Pt(0, 0)).ID
+	to := p.RouterAt(arch.Pt(7, 7)).ID
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := XY(p, from, to, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

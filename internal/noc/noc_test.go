@@ -1,0 +1,266 @@
+package noc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"rtsm/internal/arch"
+)
+
+func grid(t *testing.T, w, h int) *arch.Platform {
+	t.Helper()
+	p := arch.NewMesh("g", w, h, 1000)
+	p.AttachTile(arch.TileSpec{Name: "a", Type: arch.TypeARM, At: arch.Pt(0, 0), NICapBps: 10000})
+	p.AttachTile(arch.TileSpec{Name: "b", Type: arch.TypeARM, At: arch.Pt(w-1, h-1), NICapBps: 10000})
+	return p
+}
+
+func TestShortestAvailableBasics(t *testing.T) {
+	p := grid(t, 3, 3)
+	from := p.RouterAt(arch.Pt(0, 0)).ID
+	to := p.RouterAt(arch.Pt(2, 2)).ID
+	path, err := ShortestAvailable(p, from, to, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Hops() != 4 {
+		t.Errorf("Hops = %d, want 4 (Manhattan distance)", path.Hops())
+	}
+	if path.Routers[0] != from || path.Routers[len(path.Routers)-1] != to {
+		t.Errorf("path endpoints wrong: %v", path.Routers)
+	}
+	// Consecutive routers must be joined by the listed links.
+	for i, lid := range path.Links {
+		l := p.Link(lid)
+		if l.From != path.Routers[i] || l.To != path.Routers[i+1] {
+			t.Errorf("link %d does not connect router %d to %d", lid, path.Routers[i], path.Routers[i+1])
+		}
+	}
+}
+
+func TestShortestAvailableSameRouter(t *testing.T) {
+	p := grid(t, 2, 2)
+	r := p.RouterAt(arch.Pt(0, 0)).ID
+	path, err := ShortestAvailable(p, r, r, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Hops() != 0 || len(path.Routers) != 1 {
+		t.Errorf("same-router path = %+v", path)
+	}
+}
+
+func TestShortestAvailableAvoidsFullLinks(t *testing.T) {
+	p := grid(t, 3, 1)
+	from := p.RouterAt(arch.Pt(0, 0)).ID
+	to := p.RouterAt(arch.Pt(2, 0)).ID
+	// Saturate the only link out of router (0,0) towards (1,0).
+	p.LinkBetween(from, p.RouterAt(arch.Pt(1, 0)).ID).ReservedBps = 950
+	if _, err := ShortestAvailable(p, from, to, 100); err == nil {
+		t.Fatal("expected no path on a saturated 3×1 line")
+	}
+	// A smaller demand still fits.
+	if _, err := ShortestAvailable(p, from, to, 50); err != nil {
+		t.Fatalf("50 B/s should fit: %v", err)
+	}
+}
+
+func TestShortestAvailableDetours(t *testing.T) {
+	// Saturating the direct horizontal corridor forces a detour in a 3×2
+	// mesh; the path gets longer but must still be found.
+	p := arch.NewMesh("d", 3, 2, 1000)
+	from := p.RouterAt(arch.Pt(0, 0)).ID
+	mid := p.RouterAt(arch.Pt(1, 0)).ID
+	to := p.RouterAt(arch.Pt(2, 0)).ID
+	p.LinkBetween(from, mid).ReservedBps = 1000
+	path, err := ShortestAvailable(p, from, to, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Hops() != 4 {
+		t.Errorf("detour hops = %d, want 4", path.Hops())
+	}
+}
+
+func TestShortestAvailableDeterministic(t *testing.T) {
+	p := grid(t, 5, 5)
+	from := p.RouterAt(arch.Pt(0, 0)).ID
+	to := p.RouterAt(arch.Pt(4, 4)).ID
+	first, err := ShortestAvailable(p, from, to, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := ShortestAvailable(p, from, to, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again.Links) != len(first.Links) {
+			t.Fatal("nondeterministic path length")
+		}
+		for j := range again.Links {
+			if again.Links[j] != first.Links[j] {
+				t.Fatal("nondeterministic route")
+			}
+		}
+	}
+}
+
+func TestXYRoute(t *testing.T) {
+	p := grid(t, 4, 3)
+	from := p.RouterAt(arch.Pt(0, 2)).ID
+	to := p.RouterAt(arch.Pt(3, 0)).ID
+	path, err := XY(p, from, to, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Hops() != 5 {
+		t.Errorf("XY hops = %d, want 5", path.Hops())
+	}
+	// X must be exhausted before Y changes.
+	sawY := false
+	for i := 1; i < len(path.Routers); i++ {
+		a := p.Routers[path.Routers[i-1]].Pos
+		b := p.Routers[path.Routers[i]].Pos
+		if a.Y != b.Y {
+			sawY = true
+		} else if sawY {
+			t.Fatal("XY route moved in x after moving in y")
+		}
+	}
+}
+
+func TestXYBlockedFails(t *testing.T) {
+	p := grid(t, 3, 3)
+	from := p.RouterAt(arch.Pt(0, 0)).ID
+	to := p.RouterAt(arch.Pt(2, 0)).ID
+	p.LinkBetween(from, p.RouterAt(arch.Pt(1, 0)).ID).ReservedBps = 1000
+	_, err := XY(p, from, to, 10)
+	var enp ErrNoPath
+	if !errors.As(err, &enp) {
+		t.Fatalf("err = %v, want ErrNoPath", err)
+	}
+	// Dijkstra routes around the block where XY cannot.
+	if _, err := ShortestAvailable(p, from, to, 10); err != nil {
+		t.Errorf("adaptive routing should detour: %v", err)
+	}
+}
+
+func TestReserveRelease(t *testing.T) {
+	p := grid(t, 3, 3)
+	a := p.TileByName("a")
+	b := p.TileByName("b")
+	path, err := ShortestAvailable(p, a.Router, b.Router, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Reserve(p, path, a.ID, b.ID, 200)
+	for _, lid := range path.Links {
+		if p.Link(lid).ReservedBps != 200 {
+			t.Errorf("link %d not reserved", lid)
+		}
+	}
+	if a.ReservedOutBps != 200 || b.ReservedInBps != 200 {
+		t.Error("NI bandwidth not reserved")
+	}
+	Release(p, path, a.ID, b.ID, 200)
+	for _, lid := range path.Links {
+		if p.Link(lid).ReservedBps != 0 {
+			t.Errorf("link %d not released", lid)
+		}
+	}
+	if a.ReservedOutBps != 0 || b.ReservedInBps != 0 {
+		t.Error("NI bandwidth not released")
+	}
+}
+
+func TestReservePanicsOnOvercommit(t *testing.T) {
+	p := grid(t, 2, 1)
+	a := p.TileByName("a")
+	b := p.TileByName("b")
+	path, err := ShortestAvailable(p, a.Router, b.Router, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Reserve(p, path, a.ID, b.ID, 800)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-reservation did not panic")
+		}
+	}()
+	Reserve(p, path, a.ID, b.ID, 800)
+}
+
+func TestIncrementalRoutingSpreadsLoad(t *testing.T) {
+	// Route many identical demands between the same endpoints: once the
+	// shortest corridor saturates, later channels must take longer paths
+	// rather than fail, until the cut saturates entirely.
+	p := arch.NewMesh("s", 3, 3, 1000)
+	from := p.RouterAt(arch.Pt(0, 1)).ID
+	to := p.RouterAt(arch.Pt(2, 1)).ID
+	hops := make([]int, 0, 6)
+	for i := 0; i < 6; i++ {
+		path, err := ShortestAvailable(p, from, to, 500)
+		if err != nil {
+			break
+		}
+		for _, lid := range path.Links {
+			p.Link(lid).ReservedBps += 500
+		}
+		hops = append(hops, path.Hops())
+	}
+	// 3 disjoint corridors × 2 demands each fit; the 7th would not.
+	if len(hops) != 6 {
+		t.Fatalf("routed %d demands, want 6 (%v)", len(hops), hops)
+	}
+	if hops[0] != 2 || hops[5] <= 2 {
+		t.Errorf("load did not spread: %v", hops)
+	}
+}
+
+func TestShortestMatchesManhattanOnEmptyMesh(t *testing.T) {
+	// Property: with no reservations, path length equals the Manhattan
+	// distance between the routers.
+	rng := rand.New(rand.NewSource(3))
+	p := arch.NewMesh("m", 6, 5, 1000)
+	for trial := 0; trial < 100; trial++ {
+		a := arch.Pt(rng.Intn(6), rng.Intn(5))
+		b := arch.Pt(rng.Intn(6), rng.Intn(5))
+		path, err := ShortestAvailable(p, p.RouterAt(a).ID, p.RouterAt(b).ID, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if path.Hops() != a.Manhattan(b) {
+			t.Fatalf("hops %d != manhattan %d for %v→%v", path.Hops(), a.Manhattan(b), a, b)
+		}
+	}
+}
+
+func TestPathReservationRoundTripProperty(t *testing.T) {
+	// Property: reserve followed by release restores every link exactly,
+	// for random endpoint pairs and demands.
+	rng := rand.New(rand.NewSource(17))
+	p := arch.NewMesh("rt", 5, 4, 1000)
+	p.AttachTile(arch.TileSpec{Name: "s", Type: arch.TypeARM, At: arch.Pt(0, 0), NICapBps: 5000})
+	p.AttachTile(arch.TileSpec{Name: "d", Type: arch.TypeARM, At: arch.Pt(4, 3), NICapBps: 5000})
+	s := p.TileByName("s")
+	d := p.TileByName("d")
+	for trial := 0; trial < 50; trial++ {
+		need := int64(1 + rng.Intn(1000))
+		path, err := ShortestAvailable(p, s.Router, d.Router, need)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Reserve(p, path, s.ID, d.ID, need)
+		Release(p, path, s.ID, d.ID, need)
+	}
+	for _, l := range p.Links {
+		if l.ReservedBps != 0 {
+			t.Fatalf("link %d retains %d B/s after round trips", l.ID, l.ReservedBps)
+		}
+	}
+	if s.ReservedOutBps != 0 || d.ReservedInBps != 0 {
+		t.Fatal("NI reservations leaked")
+	}
+}

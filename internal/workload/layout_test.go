@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"testing"
+
+	"rtsm/internal/arch"
+)
+
+// TestFigure2LayoutDerivation re-derives the tile placement used by
+// Hiperlan2Platform, making the EXPERIMENTS.md claim reproducible inside
+// the repository: with A/D and Sink fixed at the figure's left-column
+// positions, exactly three placements of the four processing tiles make
+// the paper's Table 2 cost sequence (11, 11, 9, 7) come out, and the
+// platform uses one of them.
+func TestFigure2LayoutDerivation(t *testing.T) {
+	var cells []arch.Point
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			cells = append(cells, arch.Pt(x, y))
+		}
+	}
+	ad := arch.Pt(0, 2)
+	sink := arch.Pt(0, 1)
+	// Cost of the receiver chain A/D → Pfx → Frq → iOFDM → Rem → Sink
+	// under a placement, as the plain sum of Manhattan distances.
+	cost := func(pfx, frq, io, rem arch.Point) int {
+		return ad.Manhattan(pfx) + pfx.Manhattan(frq) + frq.Manhattan(io) +
+			io.Manhattan(rem) + rem.Manhattan(sink)
+	}
+	type layout struct{ a1, a2, m1, m2 arch.Point }
+	var solutions []layout
+	used := func(p arch.Point, taken ...arch.Point) bool {
+		if p == ad || p == sink {
+			return true
+		}
+		for _, q := range taken {
+			if p == q {
+				return true
+			}
+		}
+		return false
+	}
+	for _, a1 := range cells {
+		if used(a1) {
+			continue
+		}
+		for _, a2 := range cells {
+			if used(a2, a1) {
+				continue
+			}
+			for _, m1 := range cells {
+				if used(m1, a1, a2) {
+					continue
+				}
+				for _, m2 := range cells {
+					if used(m2, a1, a2, m1) {
+						continue
+					}
+					// Table 2's four configurations: initial greedy
+					// (Pfx@ARM1, Frq@ARM2, iOFDM@M1, Rem@M2), the
+					// rejected ARM swap, the kept Montium swap, and the
+					// kept ARM swap.
+					if cost(a1, a2, m1, m2) == 11 &&
+						cost(a2, a1, m1, m2) == 11 &&
+						cost(a1, a2, m2, m1) == 9 &&
+						cost(a2, a1, m2, m1) == 7 {
+						solutions = append(solutions, layout{a1, a2, m1, m2})
+					}
+				}
+			}
+		}
+	}
+	if len(solutions) != 3 {
+		t.Fatalf("found %d layouts matching Table 2, want 3 (see EXPERIMENTS.md §E3)", len(solutions))
+	}
+	// The platform must use one of them.
+	p := Hiperlan2Platform()
+	got := layout{
+		a1: p.Pos(p.TileByName("ARM1").ID),
+		a2: p.Pos(p.TileByName("ARM2").ID),
+		m1: p.Pos(p.TileByName("MONTIUM1").ID),
+		m2: p.Pos(p.TileByName("MONTIUM2").ID),
+	}
+	if p.Pos(p.TileByName("A/D").ID) != ad || p.Pos(p.TileByName("Sink").ID) != sink {
+		t.Fatal("A/D or Sink moved off the figure's positions")
+	}
+	for _, s := range solutions {
+		if s == got {
+			return
+		}
+	}
+	t.Fatalf("platform layout %+v is not among the Table 2-consistent solutions %+v", got, solutions)
+}
