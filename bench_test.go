@@ -1,10 +1,11 @@
-// Package rtsm's root benchmarks regenerate every experiment of DESIGN.md
-// §3 under the Go benchmark harness: one benchmark per paper artefact
-// (E1–E6) and per extended experiment (E7–E11). Run with
+// Package rtsm's root benchmarks regenerate the experiment suite under
+// the Go benchmark harness: one benchmark per paper artefact (E1–E6) and
+// per extended experiment (E7–E12); admission_bench_test.go adds the
+// concurrent admission-pipeline benchmarks. Run with
 //
 //	go test -bench=. -benchmem
 //
-// EXPERIMENTS.md records a reference run.
+// EXPERIMENTS.md records a reference run of the whole suite.
 package rtsm
 
 import (

@@ -1,0 +1,3 @@
+module rtsm
+
+go 1.24

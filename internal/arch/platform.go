@@ -24,6 +24,9 @@ type Platform struct {
 	in     [][]LinkID        // router -> incoming link IDs
 	byName map[string]TileID // tile name -> id
 	atRtr  map[RouterID][]TileID
+
+	// version counts committed reservation changes; see Snapshot.
+	version uint64
 }
 
 // NewMesh creates a w×h mesh of routers with bidirectional links of the
@@ -211,6 +214,7 @@ func (p *Platform) ResetReservations() {
 	for _, l := range p.Links {
 		l.ReservedBps = 0
 	}
+	p.version++
 }
 
 // Clone returns a deep copy of the platform including reservation state.
@@ -226,6 +230,7 @@ func (p *Platform) Clone() *Platform {
 		in:         p.in,
 		byName:     p.byName,
 		atRtr:      p.atRtr,
+		version:    p.version,
 	}
 	q.Tiles = make([]*Tile, len(p.Tiles))
 	for i, t := range p.Tiles {

@@ -1,0 +1,154 @@
+package arch
+
+// This file implements the snapshot/residual view the concurrent admission
+// pipeline builds on. An online resource manager wants to run the (slow)
+// spatial mapping of an arriving application without holding the platform
+// lock; it therefore maps against a Snapshot — a point-in-time deep copy of
+// the platform including all reservations — and only re-acquires the lock
+// for a short commit phase that re-validates the mapping against the live
+// platform (optimistic concurrency). The Version counter lets the commit
+// phase detect cheaply whether any admission or departure landed since the
+// snapshot was taken.
+//
+// Platform itself remains lock-free: callers that share a platform between
+// goroutines (package manager) serialize Snapshot, Version and all
+// reservation mutations behind their own mutex. A Snapshot, once taken, is
+// owned by the goroutine that took it.
+
+// Snapshot is a point-in-time copy of a platform's full reservation state.
+type Snapshot struct {
+	// Plat is a deep copy of the platform (see Platform.Clone); the mapper
+	// may freely mutate it without affecting the live platform.
+	Plat *Platform
+	// Version is the platform's reservation version at the time the
+	// snapshot was taken.
+	Version uint64
+}
+
+// Snapshot returns a deep copy of the platform tagged with its current
+// reservation version. The caller must hold whatever lock serializes
+// mutations of this platform.
+func (p *Platform) Snapshot() *Snapshot {
+	return &Snapshot{Plat: p.Clone(), Version: p.version}
+}
+
+// Version returns the platform's reservation version: a counter bumped on
+// every committed reservation change (Apply, Remove, ResetReservations).
+func (p *Platform) Version() uint64 { return p.version }
+
+// BumpVersion records that the platform's reservation state changed and
+// returns the new version. Package core calls it when committing or
+// releasing a mapping; callers mutating reservations directly should call
+// it themselves if they rely on version-based conflict detection.
+func (p *Platform) BumpVersion() uint64 {
+	p.version++
+	return p.version
+}
+
+// TileResidual is the uncommitted capacity of one tile.
+type TileResidual struct {
+	Tile         TileID
+	FreeMemBytes int64
+	// FreeUtil is the fraction of the processing element's time still
+	// unreserved, in [0, 1].
+	FreeUtil   float64
+	FreeInBps  int64
+	FreeOutBps int64
+	// FreeSlots is how many more occupants the tile accepts; -1 means
+	// unlimited.
+	FreeSlots int
+}
+
+// LinkResidual is the unreserved capacity of one NoC link.
+type LinkResidual struct {
+	Link    LinkID
+	FreeBps int64
+}
+
+// Residual summarises what is left of a platform: the free capacity of
+// every tile and link. It is a plain value — comparing the residual before
+// and after a rejected admission, or before load and after full churn, is
+// how the tests pin down that reservations never leak.
+type Residual struct {
+	Version uint64
+	Tiles   []TileResidual
+	Links   []LinkResidual
+}
+
+// Residual computes the current residual view. Like Snapshot, it must be
+// called with the platform lock held when the platform is shared.
+func (p *Platform) Residual() Residual {
+	r := Residual{
+		Version: p.version,
+		Tiles:   make([]TileResidual, len(p.Tiles)),
+		Links:   make([]LinkResidual, len(p.Links)),
+	}
+	for i, t := range p.Tiles {
+		slots := -1
+		if t.MaxOccupants > 0 {
+			slots = t.MaxOccupants - t.Occupants
+		}
+		r.Tiles[i] = TileResidual{
+			Tile:         t.ID,
+			FreeMemBytes: t.FreeMem(),
+			FreeUtil:     1 - t.ReservedUtil,
+			FreeInBps:    t.NICapBps - t.ReservedInBps,
+			FreeOutBps:   t.NICapBps - t.ReservedOutBps,
+			FreeSlots:    slots,
+		}
+	}
+	for i, l := range p.Links {
+		r.Links[i] = LinkResidual{Link: l.ID, FreeBps: l.FreeBps()}
+	}
+	return r
+}
+
+// Equal reports whether two residual views describe the same free
+// capacity. Versions are ignored: two states reached by different
+// admission histories may still be resource-identical.
+func (r Residual) Equal(o Residual) bool {
+	if len(r.Tiles) != len(o.Tiles) || len(r.Links) != len(o.Links) {
+		return false
+	}
+	for i := range r.Tiles {
+		a, b := r.Tiles[i], o.Tiles[i]
+		if a.Tile != b.Tile || a.FreeMemBytes != b.FreeMemBytes ||
+			a.FreeInBps != b.FreeInBps || a.FreeOutBps != b.FreeOutBps ||
+			a.FreeSlots != b.FreeSlots || !utilEqual(a.FreeUtil, b.FreeUtil) {
+			return false
+		}
+	}
+	for i := range r.Links {
+		if r.Links[i] != o.Links[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalFreeMem sums the free tile-local memory over all tiles.
+func (r Residual) TotalFreeMem() int64 {
+	var s int64
+	for _, t := range r.Tiles {
+		s += t.FreeMemBytes
+	}
+	return s
+}
+
+// TotalFreeLinkBps sums the unreserved capacity over all links.
+func (r Residual) TotalFreeLinkBps() int64 {
+	var s int64
+	for _, l := range r.Links {
+		s += l.FreeBps
+	}
+	return s
+}
+
+// utilEqual compares utilisation fractions up to the accumulation noise of
+// repeated float additions and subtractions.
+const utilCmpEps = 1e-9
+
+func utilEqual(a, b float64) bool {
+	d := a - b
+	return d < utilCmpEps && d > -utilCmpEps
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+
+	"rtsm/internal/arch"
+	"rtsm/internal/model"
+)
+
+// This file is the commit phase of the admission pipeline: a mapping is
+// computed against a snapshot of the platform (Mapper.Map never mutates
+// its argument), and committing it to the live platform must re-validate
+// adequacy and adherence because competing admissions may have landed
+// since the snapshot was taken. Apply therefore works in two phases: it
+// first aggregates every reservation the mapping needs into a plan, checks
+// the whole plan against the live residual state, and only then mutates —
+// so a conflicting admission yields an error and an untouched platform,
+// never a partial or over-committed reservation.
+
+// ConflictError reports that a mapping could not be committed because the
+// platform no longer has the resources the mapping relies on — i.e. a
+// competing reservation landed between snapshot and commit. The admission
+// pipeline retries on it with a fresh snapshot.
+type ConflictError struct {
+	App    string
+	Detail string
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("core: cannot commit %q: %s", e.App, e.Detail)
+}
+
+// tileDelta aggregates what a mapping adds to one tile.
+type tileDelta struct {
+	mem       int64
+	util      float64
+	occupants int
+	inBps     int64
+	outBps    int64
+}
+
+// commitPlan is the full set of reservations one mapping makes, aggregated
+// per tile and per link so it can be validated against residual capacity
+// in one pass and applied atomically.
+type commitPlan struct {
+	app   *model.Application
+	tiles map[arch.TileID]*tileDelta
+	links map[arch.LinkID]int64
+}
+
+func (pl *commitPlan) tile(id arch.TileID) *tileDelta {
+	d := pl.tiles[id]
+	if d == nil {
+		d = &tileDelta{}
+		pl.tiles[id] = d
+	}
+	return d
+}
+
+// planReservations computes the commit plan of a mapping result. In strict
+// mode an incomplete mapping (a mappable process without implementation or
+// tile) is an error; lenient mode skips such processes, matching Remove's
+// tolerance for partially built mappings.
+func planReservations(plat *arch.Platform, res *Result, strict bool) (*commitPlan, error) {
+	mp := res.Mapping
+	app := mp.App
+	pl := &commitPlan{
+		app:   app,
+		tiles: make(map[arch.TileID]*tileDelta),
+		links: make(map[arch.LinkID]int64),
+	}
+	for _, p := range app.MappableProcesses() {
+		im := mp.Impl[p.ID]
+		tid, ok := mp.Tile[p.ID]
+		if im == nil || !ok {
+			if strict {
+				return nil, fmt.Errorf("core: mapping incomplete for process %q", p.Name)
+			}
+			continue
+		}
+		cyc, err := im.CyclesPerPeriod(app, p)
+		if err != nil {
+			if strict {
+				return nil, err
+			}
+			continue
+		}
+		d := pl.tile(tid)
+		d.mem += im.MemBytes
+		d.util += utilisation(plat.Tile(tid), cyc, app.QoS.PeriodNs)
+		d.occupants++
+	}
+	for _, c := range app.StreamChannels() {
+		path, ok := mp.Route[c.ID]
+		if !ok {
+			continue
+		}
+		bps := channelBps(c, app.QoS.PeriodNs)
+		for _, lid := range path.Links {
+			pl.links[lid] += bps
+		}
+		if path.Hops() > 0 {
+			pl.tile(mp.Tile[c.Src]).outBps += bps
+			pl.tile(mp.Tile[c.Dst]).inBps += bps
+		}
+		if buf := mp.Buffers[c.ID]; buf > 0 {
+			pl.tile(mp.Tile[c.Dst]).mem += buf * c.TokenBytes
+		}
+	}
+	return pl, nil
+}
+
+// validate checks the whole plan against the platform's live residual
+// capacity, returning a ConflictError naming the first exhausted resource.
+func (pl *commitPlan) validate(plat *arch.Platform) error {
+	conflict := func(format string, args ...any) error {
+		return &ConflictError{App: pl.app.Name, Detail: fmt.Sprintf(format, args...)}
+	}
+	for tid, d := range pl.tiles {
+		t := plat.Tile(tid)
+		if t.ReservedMem+d.mem > t.MemBytes {
+			return conflict("tile %q memory exhausted (%d of %d bytes free, need %d)",
+				t.Name, t.FreeMem(), t.MemBytes, d.mem)
+		}
+		if t.ReservedUtil+d.util > 1.0+utilEps {
+			return conflict("tile %q over-committed (util %.3f + %.3f > 1)",
+				t.Name, t.ReservedUtil, d.util)
+		}
+		if t.MaxOccupants > 0 && t.Occupants+d.occupants > t.MaxOccupants {
+			return conflict("tile %q occupied (%d of max %d)", t.Name, t.Occupants, t.MaxOccupants)
+		}
+		if t.NICapBps > 0 && (t.ReservedInBps+d.inBps > t.NICapBps || t.ReservedOutBps+d.outBps > t.NICapBps) {
+			return conflict("tile %q network interface saturated", t.Name)
+		}
+	}
+	for lid, bps := range pl.links {
+		l := plat.Link(lid)
+		if l.ReservedBps+bps > l.CapBps {
+			return conflict("link %d capacity exhausted (%d of %d bps free, need %d)",
+				lid, l.FreeBps(), l.CapBps, bps)
+		}
+	}
+	return nil
+}
+
+// commit applies the plan. sign is +1 to reserve, -1 to release.
+func (pl *commitPlan) commit(plat *arch.Platform, sign int64) {
+	for tid, d := range pl.tiles {
+		t := plat.Tile(tid)
+		t.ReservedMem += sign * d.mem
+		t.ReservedUtil += float64(sign) * d.util
+		t.Occupants += int(sign) * d.occupants
+		t.ReservedInBps += sign * d.inBps
+		t.ReservedOutBps += sign * d.outBps
+	}
+	for lid, bps := range pl.links {
+		plat.Link(lid).ReservedBps += sign * bps
+	}
+	plat.BumpVersion()
+}
+
+// Validate checks whether a mapping computed against a (possibly stale)
+// snapshot can still be committed to the platform, without mutating
+// anything. A nil error means Apply would succeed on the platform as it
+// is now.
+func Validate(plat *arch.Platform, res *Result) error {
+	pl, err := planReservations(plat, res, true)
+	if err != nil {
+		return err
+	}
+	return pl.validate(plat)
+}
+
+// Apply commits a mapping's resource reservations to a platform: tile
+// memory (implementation plus stream buffers), processing utilisation,
+// network-interface bandwidth and link lanes. Use it to admit an
+// application in multi-application scenarios; Remove undoes it.
+//
+// Apply is transactional: the whole mapping is validated against the
+// platform's residual capacity first, and on any failure — including a
+// *ConflictError when a competing admission claimed the resources since
+// the mapping's snapshot was taken — the platform is left untouched.
+func Apply(plat *arch.Platform, res *Result) error {
+	pl, err := planReservations(plat, res, true)
+	if err != nil {
+		return err
+	}
+	if err := pl.validate(plat); err != nil {
+		return err
+	}
+	pl.commit(plat, +1)
+	return nil
+}
+
+// Remove releases a previously applied mapping's reservations.
+func Remove(plat *arch.Platform, res *Result) {
+	pl, err := planReservations(plat, res, false)
+	if err != nil {
+		return // lenient planning never errors; keep the compiler honest
+	}
+	pl.commit(plat, -1)
+}

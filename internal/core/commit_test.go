@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"rtsm/internal/workload"
+)
+
+// TestApplyRemoveRoundTrip pins the ledger property Stop relies on: after
+// Apply then Remove the platform's residual capacity is exactly what it
+// was, and the version advanced once per committed change.
+func TestApplyRemoveRoundTrip(t *testing.T) {
+	plat := workload.Hiperlan2Platform()
+	mode := workload.Hiperlan2Modes[0]
+	app := workload.Hiperlan2(mode)
+	lib := workload.Hiperlan2Library(mode)
+
+	before := plat.Residual()
+	v0 := plat.Version()
+	res, err := NewMapper(lib).Map(app, plat)
+	if err != nil || !res.Feasible {
+		t.Fatalf("map failed: %v", err)
+	}
+	if plat.Version() != v0 {
+		t.Fatal("Map mutated the caller's platform version")
+	}
+	if err := Apply(plat, res); err != nil {
+		t.Fatal(err)
+	}
+	if plat.Version() != v0+1 {
+		t.Fatalf("Apply should bump version once: %d -> %d", v0, plat.Version())
+	}
+	if plat.Residual().Equal(before) {
+		t.Fatal("Apply reserved nothing")
+	}
+	Remove(plat, res)
+	if got := plat.Residual(); !got.Equal(before) {
+		t.Fatalf("residual not restored after Remove:\nbefore %+v\nafter  %+v", before, got)
+	}
+	if plat.Version() != v0+2 {
+		t.Fatalf("Remove should bump version: %d", plat.Version())
+	}
+}
+
+// TestApplyDetectsStaleSnapshot is the commit-time half of optimistic
+// concurrency: a mapping computed on a snapshot must fail validation —
+// with a ConflictError and zero mutation — when a competing admission
+// claimed the resources first.
+func TestApplyDetectsStaleSnapshot(t *testing.T) {
+	plat := workload.Hiperlan2Platform()
+	mode := workload.Hiperlan2Modes[0]
+	lib := workload.Hiperlan2Library(mode)
+
+	// Two admissions compute their mappings against the same pristine
+	// snapshot; the HIPERLAN/2 platform has exactly one set of Montium
+	// tiles, so both mappings claim the same single-occupancy tiles.
+	snap := plat.Snapshot()
+	first := workload.Hiperlan2(mode)
+	second := workload.Hiperlan2(mode)
+	second.Name = "rx-late"
+	resFirst, err := NewMapper(lib).Map(first, snap.Plat)
+	if err != nil || !resFirst.Feasible {
+		t.Fatalf("first map failed: %v", err)
+	}
+	resSecond, err := NewMapper(lib).Map(second, snap.Plat)
+	if err != nil || !resSecond.Feasible {
+		t.Fatalf("second map failed: %v", err)
+	}
+
+	if err := Apply(plat, resFirst); err != nil {
+		t.Fatal(err)
+	}
+	mid := plat.Residual()
+	if err := Validate(plat, resSecond); err == nil {
+		t.Fatal("Validate accepted a conflicting mapping")
+	}
+	err = Apply(plat, resSecond)
+	var conflict *ConflictError
+	if !errors.As(err, &conflict) {
+		t.Fatalf("Apply = %v, want *ConflictError", err)
+	}
+	if conflict.App != "rx-late" {
+		t.Errorf("conflict names %q, want rx-late", conflict.App)
+	}
+	if got := plat.Residual(); !got.Equal(mid) {
+		t.Fatalf("failed Apply mutated the platform:\nbefore %+v\nafter  %+v", mid, got)
+	}
+	// The losing admission remains committable once the winner leaves.
+	Remove(plat, resFirst)
+	if err := Apply(plat, resSecond); err != nil {
+		t.Fatalf("second admission should commit after release: %v", err)
+	}
+}
+
+// TestValidateMatchesApply checks Validate is a faithful dry run: wherever
+// it says yes, Apply succeeds; wherever it says no, Apply fails the same
+// way and changes nothing.
+func TestValidateMatchesApply(t *testing.T) {
+	plat := workload.SyntheticPlatform(4, 4, 7)
+	for seed := int64(0); seed < 12; seed++ {
+		app, lib := workload.Synthetic(workload.SynthOptions{
+			Shape:     workload.ShapeChain,
+			Processes: 3 + int(seed)%4,
+			Seed:      seed,
+			MaxUtil:   0.4,
+		})
+		res, err := NewMapper(lib).Map(app, plat)
+		if err != nil || !res.Feasible {
+			continue
+		}
+		before := plat.Residual()
+		vErr := Validate(plat, res)
+		aErr := Apply(plat, res)
+		if (vErr == nil) != (aErr == nil) {
+			t.Fatalf("seed %d: Validate=%v but Apply=%v", seed, vErr, aErr)
+		}
+		if aErr != nil && !plat.Residual().Equal(before) {
+			t.Fatalf("seed %d: failed Apply mutated platform", seed)
+		}
+	}
+}

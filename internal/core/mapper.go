@@ -308,75 +308,6 @@ func AssignmentView(mp *Mapping) energy.Assignment {
 	return energy.Assignment{Impl: mp.Impl, Tile: mp.Tile, Hops: hops}
 }
 
-// Apply commits a mapping's resource reservations to a platform: tile
-// memory (implementation plus stream buffers), processing utilisation,
-// network-interface bandwidth and link lanes. Use it to admit an
-// application in multi-application scenarios; Remove undoes it.
-func Apply(plat *arch.Platform, res *Result) error {
-	mp := res.Mapping
-	app := mp.App
-	for _, p := range app.MappableProcesses() {
-		im := mp.Impl[p.ID]
-		tid, ok := mp.Tile[p.ID]
-		if im == nil || !ok {
-			return fmt.Errorf("core: mapping incomplete for process %q", p.Name)
-		}
-		t := plat.Tile(tid)
-		cyc, err := im.CyclesPerPeriod(app, p)
-		if err != nil {
-			return err
-		}
-		util := utilisation(t, cyc, app.QoS.PeriodNs)
-		if !canHost(t, im.MemBytes, util) {
-			return fmt.Errorf("core: tile %q cannot host %s anymore", t.Name, im)
-		}
-		t.ReservedMem += im.MemBytes
-		t.ReservedUtil += util
-		t.Occupants++
-	}
-	for _, c := range app.StreamChannels() {
-		path, ok := mp.Route[c.ID]
-		if !ok {
-			continue
-		}
-		noc.Reserve(plat, path, mp.Tile[c.Src], mp.Tile[c.Dst], channelBps(c, app.QoS.PeriodNs))
-		if buf := mp.Buffers[c.ID]; buf > 0 {
-			plat.Tile(mp.Tile[c.Dst]).ReservedMem += buf * c.TokenBytes
-		}
-	}
-	return nil
-}
-
-// Remove releases a previously applied mapping's reservations.
-func Remove(plat *arch.Platform, res *Result) {
-	mp := res.Mapping
-	app := mp.App
-	for _, p := range app.MappableProcesses() {
-		im := mp.Impl[p.ID]
-		tid, ok := mp.Tile[p.ID]
-		if im == nil || !ok {
-			continue
-		}
-		t := plat.Tile(tid)
-		cyc, err := im.CyclesPerPeriod(app, p)
-		if err == nil {
-			t.ReservedUtil -= utilisation(t, cyc, app.QoS.PeriodNs)
-		}
-		t.ReservedMem -= im.MemBytes
-		t.Occupants--
-	}
-	for _, c := range app.StreamChannels() {
-		path, ok := mp.Route[c.ID]
-		if !ok {
-			continue
-		}
-		noc.Release(plat, path, mp.Tile[c.Src], mp.Tile[c.Dst], channelBps(c, app.QoS.PeriodNs))
-		if buf := mp.Buffers[c.ID]; buf > 0 {
-			plat.Tile(mp.Tile[c.Dst]).ReservedMem -= buf * c.TokenBytes
-		}
-	}
-}
-
 const utilEps = 1e-9
 
 func utilisation(t *arch.Tile, cyclesPerPeriod, periodNs int64) float64 {

@@ -6,16 +6,33 @@
 // reservations until it stops. This is the component a deployment would
 // run on the control processor; the examples and experiment E12 exercise
 // it.
+//
+// Admission is a concurrent pipeline. The expensive part of an admission —
+// the four-step spatial mapping — runs outside the platform lock, against
+// a point-in-time Snapshot of the platform's residual state, so many
+// arrivals can be mapped in parallel. Only the commit is serialized: it
+// re-validates the mapping against the live platform (core.Apply is
+// transactional) and, when a competing admission claimed the resources
+// since the snapshot was taken, re-snapshots and re-maps — optimistic
+// concurrency with bounded retries. Use Pipeline for a bounded work queue
+// feeding N admission workers.
 package manager
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"rtsm/internal/arch"
 	"rtsm/internal/core"
 	"rtsm/internal/model"
 )
+
+// DefaultMaxRetries bounds how many times one admission re-maps after a
+// commit conflict or a stale infeasible verdict before giving up.
+const DefaultMaxRetries = 3
 
 // Admission records one running application.
 type Admission struct {
@@ -35,57 +52,294 @@ func (e *RejectionError) Error() string {
 	return fmt.Sprintf("manager: %q rejected: %s", e.App, e.Reason)
 }
 
-// Manager owns a platform and the set of admitted applications.
+// Outcome is the full per-admission report of one Admit call: how it
+// ended, how many mapping rounds it took and where the time went.
+type Outcome struct {
+	App string
+	// Admitted is true when the application now holds reservations.
+	Admitted bool
+	// Attempts counts mapping rounds: 1 for a clean admission, more when
+	// commit conflicts or stale snapshots forced a re-map.
+	Attempts int
+	// Wait is the time spent queued before a pipeline worker picked the
+	// request up (zero for direct Admit/Start calls).
+	Wait time.Duration
+	// Map is the total time spent in speculative mapping, outside the
+	// platform lock, summed over attempts.
+	Map time.Duration
+	// Commit is the total time spent in the serialized commit section.
+	Commit time.Duration
+	// Admission is the resulting reservation record, nil unless admitted.
+	Admission *Admission
+	// Err is nil when admitted and a *RejectionError (or duplicate-name
+	// error) otherwise.
+	Err error
+}
+
+// Stats aggregates admission outcomes over the manager's lifetime.
+type Stats struct {
+	Admitted uint64
+	Rejected uint64
+	// Conflicts counts commit attempts that found the platform changed in
+	// a way that invalidated the speculative mapping.
+	Conflicts uint64
+	// Retries counts extra mapping rounds run because of conflicts or
+	// stale snapshots (Attempts beyond the first, summed over arrivals).
+	Retries uint64
+	// TemplateHits counts admissions committed from a reused mapping
+	// template without running the mapper (see SetMappingReuse).
+	TemplateHits uint64
+	// Wait, Map and Commit accumulate the respective Outcome durations.
+	Wait   time.Duration
+	Map    time.Duration
+	Commit time.Duration
+}
+
+// Manager owns a platform and the set of admitted applications. All
+// methods are safe for concurrent use.
 type Manager struct {
-	plat    *arch.Platform
-	cfg     core.Config
-	running map[string]*Admission
-	seq     int
+	cfg core.Config
+
+	mu         sync.Mutex
+	plat       *arch.Platform
+	running    map[string]*Admission
+	pending    map[string]struct{}
+	seq        int
+	stats      Stats
+	maxRetries int
+	templates  *templateCache // nil = mapping reuse disabled
 }
 
 // New returns a manager over the given platform. The platform is owned by
 // the manager from here on: reservations of admitted applications live on
-// it.
+// it, and all access to it is serialized behind the manager's lock.
 func New(plat *arch.Platform, cfg core.Config) *Manager {
-	return &Manager{plat: plat, cfg: cfg, running: make(map[string]*Admission)}
+	return &Manager{
+		plat:       plat,
+		cfg:        cfg,
+		running:    make(map[string]*Admission),
+		pending:    make(map[string]struct{}),
+		maxRetries: DefaultMaxRetries,
+	}
 }
 
-// Platform exposes the managed platform for inspection (not mutation).
+// SetMaxRetries bounds the optimistic-concurrency retry loop (0 disables
+// retrying: one mapping round per arrival).
+func (m *Manager) SetMaxRetries(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.maxRetries = n
+}
+
+// SetMappingReuse enables or disables the mapping template cache: when
+// on, an arrival whose structure (Fingerprint) matches a previously
+// admitted application first tries to commit that application's mapping —
+// re-validated transactionally against the live platform — and only runs
+// the full mapper when the template no longer fits. Reuse trades mapping
+// optimality under load for admission latency; it is off by default.
+func (m *Manager) SetMappingReuse(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if on && m.templates == nil {
+		m.templates = newTemplateCache()
+	} else if !on {
+		m.templates = nil
+	}
+}
+
+// Platform exposes the managed platform. It is safe to read only while no
+// admissions are in flight; concurrent inspectors should use Snapshot or
+// Residual instead.
 func (m *Manager) Platform() *arch.Platform { return m.plat }
+
+// Snapshot returns a point-in-time deep copy of the managed platform.
+func (m *Manager) Snapshot() *arch.Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.plat.Snapshot()
+}
+
+// Residual returns the platform's current free-capacity view.
+func (m *Manager) Residual() arch.Residual {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.plat.Residual()
+}
+
+// Stats returns a copy of the accumulated admission statistics.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
 
 // Start maps the application against the current platform state and
 // admits it when feasible. Application names identify admissions and must
-// be unique among running applications.
+// be unique among running applications. Start is Admit without the
+// outcome report.
 func (m *Manager) Start(app *model.Application, lib *model.Library) (*Admission, error) {
+	out := m.Admit(app, lib)
+	if out.Err != nil {
+		return nil, out.Err
+	}
+	return out.Admission, nil
+}
+
+// Admit runs one admission through the pipeline — snapshot, speculative
+// map, serialized validate-and-commit, bounded retry — and reports the
+// outcome. Rejections are reported in Outcome.Err, not returned.
+func (m *Manager) Admit(app *model.Application, lib *model.Library) Outcome {
+	return m.admit(app, lib, 0)
+}
+
+func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Duration) Outcome {
+	out := Outcome{App: app.Name, Wait: wait}
+
+	m.mu.Lock()
 	if _, dup := m.running[app.Name]; dup {
-		return nil, fmt.Errorf("manager: application %q already running", app.Name)
+		m.mu.Unlock()
+		out.Err = fmt.Errorf("manager: application %q already running", app.Name)
+		return out
 	}
-	mapper := &core.Mapper{Lib: lib, Cfg: m.cfg}
-	res, err := mapper.Map(app, m.plat)
-	if err != nil {
-		return nil, &RejectionError{App: app.Name, Reason: err.Error()}
+	if _, dup := m.pending[app.Name]; dup {
+		m.mu.Unlock()
+		out.Err = fmt.Errorf("manager: application %q is already being admitted", app.Name)
+		return out
 	}
-	if !res.Feasible {
-		reason := "no feasible mapping with current occupancy"
-		if len(res.Trace.Notes) > 0 {
-			reason = res.Trace.Notes[len(res.Trace.Notes)-1]
+	m.pending[app.Name] = struct{}{}
+	tc := m.templates
+	m.mu.Unlock()
+
+	// Fast path: structurally identical application admitted before —
+	// try committing its mapping directly. Validation against the live
+	// platform makes a stale template harmless: it can be refused, not
+	// applied wrongly.
+	var fp string
+	if tc != nil {
+		if f, err := Fingerprint(app, lib); err == nil {
+			fp = f
+			if pool := tc.get(fp); len(pool) > 0 {
+				commitStart := time.Now()
+				m.mu.Lock()
+				for _, tpl := range pool {
+					if err := core.Apply(m.plat, tpl); err != nil {
+						continue
+					}
+					m.seq++
+					ad := &Admission{App: app, Result: tpl, Seq: m.seq}
+					m.running[app.Name] = ad
+					m.stats.TemplateHits++
+					out.Commit += time.Since(commitStart)
+					m.finishLocked(&out, ad, nil)
+					m.mu.Unlock()
+					return out
+				}
+				m.mu.Unlock()
+				out.Commit += time.Since(commitStart)
+				// No remembered placement fits the current residual
+				// state; fall back to a fresh mapping.
+			}
 		}
-		return nil, &RejectionError{App: app.Name, Reason: reason}
 	}
-	if err := core.Apply(m.plat, res); err != nil {
-		// Map works on a clone; Apply re-validates on the live platform.
-		// A failure here means the platform changed between the two,
-		// which cannot happen single-threaded — treat as a rejection.
-		return nil, &RejectionError{App: app.Name, Reason: err.Error()}
+
+	m.mu.Lock()
+	snap := m.plat.Snapshot()
+	m.mu.Unlock()
+
+	mapper := &core.Mapper{Lib: lib, Cfg: m.cfg}
+	for {
+		out.Attempts++
+		mapStart := time.Now()
+		res, mapErr := mapper.Map(app, snap.Plat)
+		out.Map += time.Since(mapStart)
+
+		commitStart := time.Now()
+		m.mu.Lock()
+		// The terminal branches below account the commit-section time
+		// into out.Commit *before* finishLocked folds it into Stats; the
+		// retry branches accumulate it after unlocking instead, and it
+		// reaches Stats with the eventual terminal attempt.
+		switch {
+		case mapErr != nil:
+			// Structural errors (unknown tiles, no implementations) do
+			// not depend on residual state; no point retrying.
+			out.Commit += time.Since(commitStart)
+			m.finishLocked(&out, nil, &RejectionError{App: app.Name, Reason: mapErr.Error()})
+		case !res.Feasible:
+			// Infeasible against the snapshot. If the platform changed
+			// since — e.g. an application stopped and freed resources —
+			// the verdict may be stale; retry on fresh state.
+			if m.plat.Version() != snap.Version && out.Attempts <= m.maxRetries {
+				snap = m.plat.Snapshot()
+				m.mu.Unlock()
+				out.Commit += time.Since(commitStart)
+				continue
+			}
+			reason := "no feasible mapping with current occupancy"
+			if n := len(res.Trace.Notes); n > 0 {
+				reason = res.Trace.Notes[n-1]
+			}
+			out.Commit += time.Since(commitStart)
+			m.finishLocked(&out, nil, &RejectionError{App: app.Name, Reason: reason})
+		default:
+			err := core.Apply(m.plat, res)
+			if err == nil {
+				m.seq++
+				ad := &Admission{App: app, Result: res, Seq: m.seq}
+				m.running[app.Name] = ad
+				out.Commit += time.Since(commitStart)
+				m.finishLocked(&out, ad, nil)
+				if tc != nil && fp != "" {
+					tc.put(fp, res)
+				}
+				break
+			}
+			var conflict *core.ConflictError
+			if errors.As(err, &conflict) {
+				m.stats.Conflicts++
+				if out.Attempts <= m.maxRetries {
+					// A competing admission won the resources between
+					// snapshot and commit: re-map on fresh state.
+					snap = m.plat.Snapshot()
+					m.mu.Unlock()
+					out.Commit += time.Since(commitStart)
+					continue
+				}
+			}
+			out.Commit += time.Since(commitStart)
+			m.finishLocked(&out, nil, &RejectionError{App: app.Name, Reason: err.Error()})
+		}
+		m.mu.Unlock()
+		return out
 	}
-	m.seq++
-	ad := &Admission{App: app, Result: res, Seq: m.seq}
-	m.running[app.Name] = ad
-	return ad, nil
+}
+
+// finishLocked records the end of an admission attempt. Callers hold m.mu.
+func (m *Manager) finishLocked(out *Outcome, ad *Admission, err error) {
+	delete(m.pending, out.App)
+	if ad != nil {
+		out.Admitted = true
+		out.Admission = ad
+		m.stats.Admitted++
+	} else {
+		out.Err = err
+		m.stats.Rejected++
+	}
+	if out.Attempts > 0 {
+		m.stats.Retries += uint64(out.Attempts - 1)
+	}
+	m.stats.Wait += out.Wait
+	m.stats.Map += out.Map
+	m.stats.Commit += out.Commit
 }
 
 // Stop releases the named application's resources.
 func (m *Manager) Stop(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, pend := m.pending[name]; pend {
+		return fmt.Errorf("manager: application %q is still being admitted", name)
+	}
 	ad, ok := m.running[name]
 	if !ok {
 		return fmt.Errorf("manager: application %q is not running", name)
@@ -97,6 +351,8 @@ func (m *Manager) Stop(name string) error {
 
 // Running lists admitted applications in admission order.
 func (m *Manager) Running() []*Admission {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]*Admission, 0, len(m.running))
 	for _, ad := range m.running {
 		out = append(out, ad)
@@ -110,6 +366,8 @@ func (m *Manager) Running() []*Admission {
 // power-proportional figure when periods are equal (as in the
 // experiments) and otherwise serves as a coarse load indicator.
 func (m *Manager) TotalEnergy() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var e float64
 	for _, ad := range m.running {
 		e += ad.Result.Energy.Total()
@@ -129,6 +387,8 @@ type Load struct {
 
 // Load computes the current occupancy summary.
 func (m *Manager) Load() Load {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var l Load
 	var utilSum float64
 	for _, t := range m.plat.Tiles {
@@ -153,4 +413,35 @@ func (m *Manager) Load() Load {
 		l.LinkReserved = float64(res) / float64(cap)
 	}
 	return l
+}
+
+// CheckInvariants verifies the platform's reservation ledger is sane: no
+// tile or link over-committed, nothing negative. The stress tests call it
+// while admissions are in flight.
+func (m *Manager) CheckInvariants() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	const eps = 1e-9
+	for _, t := range m.plat.Tiles {
+		if t.ReservedMem < 0 || t.ReservedMem > t.MemBytes {
+			return fmt.Errorf("tile %q memory ledger out of range: %d of %d", t.Name, t.ReservedMem, t.MemBytes)
+		}
+		if t.ReservedUtil < -eps || t.ReservedUtil > 1+eps {
+			return fmt.Errorf("tile %q utilisation out of range: %v", t.Name, t.ReservedUtil)
+		}
+		if t.Occupants < 0 || (t.MaxOccupants > 0 && t.Occupants > t.MaxOccupants) {
+			return fmt.Errorf("tile %q occupancy out of range: %d", t.Name, t.Occupants)
+		}
+		if t.NICapBps > 0 && (t.ReservedInBps < 0 || t.ReservedInBps > t.NICapBps ||
+			t.ReservedOutBps < 0 || t.ReservedOutBps > t.NICapBps) {
+			return fmt.Errorf("tile %q NI ledger out of range: in=%d out=%d cap=%d",
+				t.Name, t.ReservedInBps, t.ReservedOutBps, t.NICapBps)
+		}
+	}
+	for _, l := range m.plat.Links {
+		if l.ReservedBps < 0 || l.ReservedBps > l.CapBps {
+			return fmt.Errorf("link %d ledger out of range: %d of %d", l.ID, l.ReservedBps, l.CapBps)
+		}
+	}
+	return nil
 }

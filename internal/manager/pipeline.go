@@ -1,0 +1,109 @@
+package manager
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rtsm/internal/model"
+)
+
+// Request is one admission to run through a Pipeline.
+type Request struct {
+	App *model.Application
+	Lib *model.Library
+}
+
+type job struct {
+	req      Request
+	enqueued time.Time
+	done     chan Outcome
+}
+
+// Pipeline is a bounded admission work queue in front of a Manager: up to
+// `depth` requests wait in the queue and `workers` goroutines run the
+// speculative mapping phase concurrently. Submit blocks when the queue is
+// full, giving callers natural backpressure; TrySubmit sheds load instead.
+//
+// Departures need no queue — call Manager.Stop directly, it only takes
+// the short commit lock.
+type Pipeline struct {
+	m    *Manager
+	jobs chan *job
+
+	closing sync.RWMutex // held shared by submitters, exclusively by Close
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewPipeline starts a pipeline with the given number of admission
+// workers and queue slots. workers < 1 is treated as 1; depth < 1 makes
+// the queue unbuffered (every Submit hands off directly to a worker).
+func NewPipeline(m *Manager, workers, depth int) *Pipeline {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	p := &Pipeline{m: m, jobs: make(chan *job, depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pipeline) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		wait := time.Since(j.enqueued)
+		j.done <- p.m.admit(j.req.App, j.req.Lib, wait)
+	}
+}
+
+// Submit enqueues an admission request, blocking while the queue is full,
+// and returns a channel that delivers the Outcome. The channel is
+// buffered: a caller that abandons it leaks nothing and blocks no worker.
+func (p *Pipeline) Submit(app *model.Application, lib *model.Library) (<-chan Outcome, error) {
+	p.closing.RLock()
+	defer p.closing.RUnlock()
+	if p.closed {
+		return nil, fmt.Errorf("manager: pipeline is closed")
+	}
+	j := &job{req: Request{App: app, Lib: lib}, enqueued: time.Now(), done: make(chan Outcome, 1)}
+	p.jobs <- j
+	return j.done, nil
+}
+
+// TrySubmit is Submit without the blocking: it reports false when the
+// queue is full or the pipeline closed, so callers can shed load.
+func (p *Pipeline) TrySubmit(app *model.Application, lib *model.Library) (<-chan Outcome, bool) {
+	p.closing.RLock()
+	defer p.closing.RUnlock()
+	if p.closed {
+		return nil, false
+	}
+	j := &job{req: Request{App: app, Lib: lib}, enqueued: time.Now(), done: make(chan Outcome, 1)}
+	select {
+	case p.jobs <- j:
+		return j.done, true
+	default:
+		return nil, false
+	}
+}
+
+// Close stops accepting requests, drains the queue and waits for all
+// workers to finish. Outcomes of already-submitted requests are still
+// delivered.
+func (p *Pipeline) Close() {
+	p.closing.Lock()
+	if p.closed {
+		p.closing.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.closing.Unlock()
+	p.wg.Wait()
+}

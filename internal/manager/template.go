@@ -1,0 +1,137 @@
+package manager
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"rtsm/internal/core"
+	"rtsm/internal/model"
+)
+
+// Mapping reuse: an online manager sees the same application structures
+// over and over — the paper's own case study is a receiver that restarts
+// whenever the radio re-tunes. Recomputing the four-step mapping for a
+// structurally identical arrival is pure waste when the previous mapping
+// still fits, and the transactional commit path makes reuse safe: a
+// remembered mapping is re-validated against the live platform exactly
+// like a speculatively computed one, so a stale template can only be
+// rejected, never corrupt the ledger. On a template hit an admission
+// costs one validate-and-apply (tens of microseconds) instead of a full
+// mapping run (milliseconds); on validation failure the admission falls
+// back to the normal snapshot-map-commit path and refreshes the template.
+//
+// Reuse trades mapping optimality for admission latency: a template
+// computed against a different residual state may power tiles a fresh
+// mapping would avoid. Managers therefore default to reuse off; enable
+// it with SetMappingReuse for throughput-oriented deployments.
+
+// Fingerprint identifies the structure of a mapping problem: everything
+// Mapper.Map's outcome depends on except the platform's residual state
+// and the application's display name. Two arrivals with equal
+// fingerprints are interchangeable for mapping purposes.
+func Fingerprint(app *model.Application, lib *model.Library) (string, error) {
+	h := sha256.New()
+	probe := *app
+	probe.Name = "" // identity is structural, not nominal
+	enc := json.NewEncoder(h)
+	if err := enc.Encode(&probe); err != nil {
+		return "", err
+	}
+	// Implementations are visited in process declaration order and
+	// library registration order, both part of the mapping's semantics
+	// (they encode the paper's tie-breaking).
+	for _, p := range app.Processes {
+		for _, im := range lib.For(p.Name) {
+			if err := enc.Encode(im); err != nil {
+				return "", err
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// templatePoolSize caps how many alternative placements are remembered
+// per fingerprint. First-fit mappings computed at different platform
+// occupancies land on different tiles, so a small pool covers the
+// platform well; trying all of them is still two orders of magnitude
+// cheaper than one mapper run.
+const templatePoolSize = 8
+
+// templateCache remembers recently committed mappings per fingerprint.
+// Results stored here are treated as immutable; Apply and Remove only
+// read them. Per fingerprint a pool of differently placed mappings is
+// kept, with a rotating start index so concurrent instances of the same
+// structure spread over tiles instead of all contending for the first
+// template's.
+type templateCache struct {
+	mu   sync.RWMutex
+	m    map[string][]*core.Result
+	next map[string]*uint64
+}
+
+func newTemplateCache() *templateCache {
+	return &templateCache{
+		m:    make(map[string][]*core.Result),
+		next: make(map[string]*uint64),
+	}
+}
+
+// get returns the pool for a fingerprint, rotated so successive callers
+// start from different templates. The returned slice must not be
+// modified.
+func (c *templateCache) get(fp string) []*core.Result {
+	c.mu.RLock()
+	pool := c.m[fp]
+	ctr := c.next[fp]
+	c.mu.RUnlock()
+	if len(pool) <= 1 {
+		return pool
+	}
+	start := int(atomic.AddUint64(ctr, 1)) % len(pool)
+	rotated := make([]*core.Result, 0, len(pool))
+	rotated = append(rotated, pool[start:]...)
+	rotated = append(rotated, pool[:start]...)
+	return rotated
+}
+
+// put adds a mapping to the fingerprint's pool unless an identically
+// placed one is already there; the oldest entry is evicted past the cap.
+// The pool slice is copy-on-write: get hands out the current header
+// without copying, so the backing array must never be mutated in place.
+func (c *templateCache) put(fp string, res *core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pool := c.m[fp]
+	for _, have := range pool {
+		if samePlacement(have, res) {
+			return
+		}
+	}
+	if len(pool) >= templatePoolSize {
+		pool = pool[1:]
+	}
+	next := make([]*core.Result, 0, len(pool)+1)
+	next = append(next, pool...)
+	c.m[fp] = append(next, res)
+	if c.next[fp] == nil {
+		c.next[fp] = new(uint64)
+	}
+}
+
+// samePlacement reports whether two results place processes on the same
+// tiles — the only dimension the pool needs diversity in.
+func samePlacement(a, b *core.Result) bool {
+	at, bt := a.Mapping.Tile, b.Mapping.Tile
+	if len(at) != len(bt) {
+		return false
+	}
+	for pid, tid := range at {
+		if bt[pid] != tid {
+			return false
+		}
+	}
+	return true
+}
