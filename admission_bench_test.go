@@ -91,9 +91,10 @@ func BenchmarkAdmissionThroughput(b *testing.B) {
 	reportAdmissions(b, m, base)
 }
 
-func benchmarkAdmissionParallel(b *testing.B, workers int, reuse bool) {
+func benchmarkAdmissionParallel(b *testing.B, workers int, reuse, repair bool) {
 	m := manager.New(workload.SyntheticPlatform(8, 8, 123), core.Config{})
 	m.SetMappingReuse(reuse)
+	m.SetRepair(repair)
 	warmCatalogue(b, m)
 	base := m.Stats()
 	pipe := manager.NewPipeline(m, workers, workers)
@@ -109,8 +110,10 @@ func benchmarkAdmissionParallel(b *testing.B, workers int, reuse bool) {
 			out := <-ch
 			if out.Admitted {
 				if err := m.Stop(out.App); err != nil {
+					// Keep draining: bailing out here would wedge the
+					// producer on the bounded pending channel and hang
+					// the benchmark instead of failing it.
 					b.Error(err)
-					return
 				}
 			}
 		}
@@ -137,13 +140,22 @@ func benchmarkAdmissionParallel(b *testing.B, workers int, reuse bool) {
 // AND template reuse; on a single-core host (like the CI container)
 // reuse carries it alone — the %reused metric makes the split visible.
 func BenchmarkAdmissionThroughputParallel4(b *testing.B) {
-	benchmarkAdmissionParallel(b, 4, true)
+	benchmarkAdmissionParallel(b, 4, true, true)
+}
+
+// BenchmarkAdmissionThroughputParallel4NoRepair is the same deployment
+// with the incremental remapping engine off: every conflict retry and
+// stale template re-runs the full four-step map. Comparing it against
+// Parallel4 quantifies what repair buys under contention; CI uploads the
+// pair as the repair on/off comparison artifact.
+func BenchmarkAdmissionThroughputParallel4NoRepair(b *testing.B) {
+	benchmarkAdmissionParallel(b, 4, true, false)
 }
 
 // BenchmarkAdmissionThroughputParallel8 doubles the workers to expose the
 // scaling curve past the acceptance point.
 func BenchmarkAdmissionThroughputParallel8(b *testing.B) {
-	benchmarkAdmissionParallel(b, 8, true)
+	benchmarkAdmissionParallel(b, 8, true, true)
 }
 
 // BenchmarkAdmissionThroughputParallel4NoReuse isolates pure optimistic
@@ -151,7 +163,7 @@ func BenchmarkAdmissionThroughputParallel8(b *testing.B) {
 // the number to watch on multi-core hosts; on one core it cannot beat
 // sequential (mapping is CPU-bound) and documents exactly that.
 func BenchmarkAdmissionThroughputParallel4NoReuse(b *testing.B) {
-	benchmarkAdmissionParallel(b, 4, false)
+	benchmarkAdmissionParallel(b, 4, false, true)
 }
 
 // reportAdmissions derives the timed-section metrics: base is the stats
@@ -162,6 +174,10 @@ func reportAdmissions(b *testing.B, m *manager.Manager, base manager.Stats) {
 	st.Rejected -= base.Rejected
 	st.Retries -= base.Retries
 	st.TemplateHits -= base.TemplateHits
+	st.ConflictRetries -= base.ConflictRetries
+	st.StaleTemplates -= base.StaleTemplates
+	st.RepairedConflicts -= base.RepairedConflicts
+	st.RepairedTemplates -= base.RepairedTemplates
 	if st.Admitted == 0 {
 		b.Fatal("benchmark admitted nothing; workload broken")
 	}
@@ -173,6 +189,9 @@ func reportAdmissions(b *testing.B, m *manager.Manager, base manager.Stats) {
 	b.ReportMetric(100*float64(st.Admitted)/float64(total), "%admitted")
 	b.ReportMetric(float64(st.Retries)/float64(total), "retries/arrival")
 	b.ReportMetric(100*float64(st.TemplateHits)/float64(total), "%reused")
+	if rate, ok := st.RepairRate(); ok {
+		b.ReportMetric(100*rate, "%repaired")
+	}
 	if err := m.CheckInvariants(); err != nil {
 		b.Fatalf("ledger corrupted under benchmark load: %v", err)
 	}

@@ -2,14 +2,17 @@
 // workload: hundreds of streaming applications from a recurring catalogue
 // arrive through a bounded work queue, run for a while and leave, while N
 // workers map arrivals in parallel against platform snapshots. It reports
-// admission throughput and latency and verifies the reservation ledger is
-// exactly clean after full churn.
+// admission throughput and latency — including how much of the conflict
+// and stale-template load the incremental repair engine absorbed — and
+// verifies the reservation ledger is exactly clean after full churn. The
+// scenario loop itself lives in internal/churn so the tests can drive it.
 //
 // Examples:
 //
 //	go run ./cmd/churn                       # 4 workers, 400 arrivals
 //	go run ./cmd/churn -workers 8 -apps 1000 # heavier
 //	go run ./cmd/churn -compare              # sequential vs pipeline
+//	go run ./cmd/churn -repair=false         # full remap on every retry
 package main
 
 import (
@@ -18,10 +21,8 @@ import (
 	"os"
 	"time"
 
-	"rtsm/internal/core"
+	"rtsm/internal/churn"
 	"rtsm/internal/manager"
-	"rtsm/internal/model"
-	"rtsm/internal/workload"
 )
 
 var (
@@ -35,146 +36,90 @@ var (
 	period    = flag.Int64("period", 40_000, "QoS period in ns")
 	resident  = flag.Int("resident", 0, "applications kept running at once (0 = 2x workers)")
 	reuse     = flag.Bool("reuse", true, "reuse mapping templates for recurring structures")
+	repair    = flag.Bool("repair", true, "repair stale mappings instead of re-mapping from scratch")
 	retries   = flag.Int("retries", manager.DefaultMaxRetries, "max re-mapping rounds per arrival")
 	compare   = flag.Bool("compare", false, "also run the sequential path and report the speedup")
 )
 
-func arrival(i int) (*model.Application, *model.Library) {
-	s := i % *catalogue
-	app, lib := workload.Synthetic(workload.SynthOptions{
-		Shape:     workload.ShapeChain,
-		Processes: 3 + s%3,
-		Seed:      int64(s),
+func options() churn.Options {
+	return churn.Options{
+		Workers:   *workers,
+		Queue:     *queue,
+		Apps:      *apps,
+		Mesh:      *mesh,
+		Seed:      *seed,
+		Catalogue: *catalogue,
 		MaxUtil:   *util,
 		PeriodNs:  *period,
-	})
-	app.Name = fmt.Sprintf("app-%d", i)
-	return app, lib
-}
-
-type runResult struct {
-	stats   manager.Stats
-	elapsed time.Duration
-	clean   bool
-}
-
-func (r runResult) admissionsPerSec() float64 {
-	if r.elapsed <= 0 {
-		return 0
+		Resident:  *resident,
+		Reuse:     *reuse,
+		Repair:    *repair,
+		Retries:   *retries,
+		ErrWriter: os.Stderr,
 	}
-	return float64(r.stats.Admitted) / r.elapsed.Seconds()
 }
 
-// run pushes *apps arrivals through a pipeline with the given worker
-// count, keeping up to maxResident applications running at once, then
-// stops everything and checks the ledger.
-func run(workers, depth, maxResident int, reuse bool) runResult {
-	plat := workload.SyntheticPlatform(*mesh, *mesh, *seed)
-	pristine := plat.Residual()
-	m := manager.New(plat, core.Config{})
-	m.SetMappingReuse(reuse)
-	m.SetMaxRetries(*retries)
-	pipe := manager.NewPipeline(m, workers, depth)
-
-	start := time.Now()
-	pending := make(chan (<-chan manager.Outcome), maxResident)
-	collectorDone := make(chan struct{})
-	go func() {
-		defer close(collectorDone)
-		var residents []string
-		for ch := range pending {
-			out := <-ch
-			if !out.Admitted {
-				continue
-			}
-			residents = append(residents, out.App)
-			if len(residents) > maxResident {
-				oldest := residents[0]
-				residents = residents[1:]
-				if err := m.Stop(oldest); err != nil {
-					fmt.Fprintf(os.Stderr, "churn: stop %s: %v\n", oldest, err)
-				}
-			}
-		}
-		for _, name := range residents {
-			if err := m.Stop(name); err != nil {
-				fmt.Fprintf(os.Stderr, "churn: final stop %s: %v\n", name, err)
-			}
-		}
-	}()
-	for i := 0; i < *apps; i++ {
-		ch, err := pipe.Submit(arrival(i))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "churn: submit: %v\n", err)
-			break
-		}
-		pending <- ch
-	}
-	close(pending)
-	pipe.Close()
-	<-collectorDone
-	elapsed := time.Since(start)
-
-	if err := m.CheckInvariants(); err != nil {
-		fmt.Fprintf(os.Stderr, "churn: ledger invariant violated: %v\n", err)
-		return runResult{stats: m.Stats(), elapsed: elapsed}
-	}
-	return runResult{stats: m.Stats(), elapsed: elapsed, clean: m.Residual().Equal(pristine)}
-}
-
-func report(label string, r runResult) {
-	st := r.stats
+func report(label string, r churn.Result) {
+	st := r.Stats
 	total := st.Admitted + st.Rejected
 	fmt.Printf("%s:\n", label)
 	fmt.Printf("  arrivals          %d (%d admitted, %d rejected, %.1f%% admitted)\n",
-		total, st.Admitted, st.Rejected, 100*float64(st.Admitted)/float64(max64(total, 1)))
-	fmt.Printf("  throughput        %.1f admissions/sec over %v\n", r.admissionsPerSec(), r.elapsed.Round(time.Millisecond))
+		total, st.Admitted, st.Rejected, 100*float64(st.Admitted)/float64(max(total, 1)))
+	fmt.Printf("  throughput        %.1f admissions/sec over %v\n", r.AdmissionsPerSec(), r.Elapsed.Round(time.Millisecond))
 	fmt.Printf("  optimistic retry  %d commit conflicts, %d re-mapping rounds\n", st.Conflicts, st.Retries)
 	fmt.Printf("  template reuse    %d of %d admissions (%.1f%%)\n",
-		st.TemplateHits, st.Admitted, 100*float64(st.TemplateHits)/float64(max64(st.Admitted, 1)))
+		st.TemplateHits, st.Admitted, 100*float64(st.TemplateHits)/float64(max(st.Admitted, 1)))
+	fmt.Printf("  incremental repair %d of %d retry/stale rounds repaired (%d of %d conflict retries, %d of %d stale templates; %d fell back to full remap)\n",
+		st.RepairedConflicts+st.RepairedTemplates, st.ConflictRetries+st.StaleTemplates,
+		st.RepairedConflicts, st.ConflictRetries, st.RepairedTemplates, st.StaleTemplates, st.FullRemaps)
+	if rate, ok := st.RepairRate(); ok {
+		fmt.Printf("  repair rate       %.1f%%\n", 100*rate)
+	}
 	if total > 0 {
-		fmt.Printf("  mean latencies    wait %v, map %v, commit %v\n",
+		fmt.Printf("  mean latencies    wait %v, map %v, repair %v, commit %v\n",
 			(st.Wait / time.Duration(total)).Round(time.Microsecond),
 			(st.Map / time.Duration(total)).Round(time.Microsecond),
+			(st.Repair / time.Duration(total)).Round(time.Microsecond),
 			(st.Commit / time.Duration(total)).Round(time.Microsecond))
 	}
-	fmt.Printf("  ledger clean      %v\n", r.clean)
-}
-
-func max64(v uint64, min uint64) uint64 {
-	if v < min {
-		return min
+	if r.LedgerErr != nil {
+		fmt.Printf("  ledger            INVARIANT VIOLATED: %v\n", r.LedgerErr)
+		return
 	}
-	return v
+	fmt.Printf("  ledger clean      %v\n", r.Clean)
+	if !r.Clean {
+		fmt.Printf("  ledger drift      %d tiles, %d links changed\n", len(r.Drift.Tiles), len(r.Drift.Links))
+	}
 }
 
 func main() {
 	flag.Parse()
-	if *workers < 1 {
-		*workers = 1 // mirror the pipeline's own clamp in the report
-	}
-	depth := *queue
-	if depth <= 0 {
-		depth = *workers
-	}
-	maxResident := *resident
-	if maxResident <= 0 {
-		maxResident = 2 * *workers
+	opts := options()
+	if opts.Resident <= 0 {
+		// Resolve the default here so the -compare run keeps the same
+		// resident population as the pipeline run.
+		opts.Resident = 2 * max(opts.Workers, 1)
 	}
 
 	fmt.Printf("churn: %d arrivals from a %d-structure catalogue onto a %d×%d mesh\n\n",
-		*apps, *catalogue, *mesh, *mesh)
-	pipe := run(*workers, depth, maxResident, *reuse)
-	report(fmt.Sprintf("pipeline (%d workers, queue %d, reuse %v)", *workers, depth, *reuse), pipe)
-	ok := pipe.clean
+		opts.Apps, opts.Catalogue, opts.Mesh, opts.Mesh)
+	pipe := churn.Run(opts)
+	report(fmt.Sprintf("pipeline (%d workers, reuse %v, repair %v)", opts.Workers, opts.Reuse, opts.Repair), pipe)
+	ok := pipe.Clean && pipe.LedgerErr == nil
 
 	if *compare {
+		seqOpts := opts
+		seqOpts.Workers = 1
+		seqOpts.Queue = 1
+		seqOpts.Resident = opts.Resident
+		seqOpts.Reuse = false
+		seqOpts.Repair = false
 		fmt.Println()
-		seq := run(1, 1, maxResident, false)
-		report("sequential (1 worker, no reuse)", seq)
-		ok = ok && seq.clean
-		if seq.admissionsPerSec() > 0 {
-			fmt.Printf("\nspeedup: %.2fx admissions/sec\n", pipe.admissionsPerSec()/seq.admissionsPerSec())
+		seq := churn.Run(seqOpts)
+		report("sequential (1 worker, no reuse, no repair)", seq)
+		ok = ok && seq.Clean && seq.LedgerErr == nil
+		if seq.AdmissionsPerSec() > 0 {
+			fmt.Printf("\nspeedup: %.2fx admissions/sec\n", pipe.AdmissionsPerSec()/seq.AdmissionsPerSec())
 		}
 	}
 	if !ok {

@@ -126,6 +126,120 @@ func (r Residual) Equal(o Residual) bool {
 	return true
 }
 
+// TileDelta is the change in one tile's free capacity between two residual
+// views: positive fields mean capacity appeared (an application left),
+// negative fields mean a competing reservation consumed it.
+type TileDelta struct {
+	Tile         TileID
+	FreeMemBytes int64
+	FreeUtil     float64
+	FreeInBps    int64
+	FreeOutBps   int64
+	// FreeSlots is the occupancy-slot delta; 0 when either side is
+	// unlimited.
+	FreeSlots int
+}
+
+// Shrunk reports whether the tile lost capacity in any dimension.
+func (d TileDelta) Shrunk() bool {
+	return d.FreeMemBytes < 0 || d.FreeUtil < -utilCmpEps ||
+		d.FreeInBps < 0 || d.FreeOutBps < 0 || d.FreeSlots < 0
+}
+
+// LinkDelta is the change in one link's free bandwidth between two
+// residual views.
+type LinkDelta struct {
+	Link    LinkID
+	FreeBps int64
+}
+
+// ResidualDiff is the per-resource difference between two residual views:
+// only tiles and links whose free capacity changed appear. The incremental
+// remapping engine uses it to decide whether a stale mapping can be kept
+// verbatim (empty diff) and, when not, which resources to blame.
+type ResidualDiff struct {
+	Tiles []TileDelta
+	Links []LinkDelta
+}
+
+// Empty reports whether the two residual views were resource-identical.
+func (d ResidualDiff) Empty() bool { return len(d.Tiles) == 0 && len(d.Links) == 0 }
+
+// ShrunkTiles returns the IDs of tiles that lost capacity.
+func (d ResidualDiff) ShrunkTiles() []TileID {
+	var out []TileID
+	for _, t := range d.Tiles {
+		if t.Shrunk() {
+			out = append(out, t.Tile)
+		}
+	}
+	return out
+}
+
+// ShrunkLinks returns the IDs of links that lost bandwidth.
+func (d ResidualDiff) ShrunkLinks() []LinkID {
+	var out []LinkID
+	for _, l := range d.Links {
+		if l.FreeBps < 0 {
+			out = append(out, l.Link)
+		}
+	}
+	return out
+}
+
+// Diff computes o − r per resource: what changed between this residual
+// view (the older) and o (the fresher). Tiles and links are matched by
+// position, as produced by Platform.Residual on the same platform; views
+// of different platforms are not comparable and yield a diff marking
+// every resource as changed.
+func (r Residual) Diff(o Residual) ResidualDiff {
+	var d ResidualDiff
+	n := len(r.Tiles)
+	if len(o.Tiles) < n {
+		n = len(o.Tiles)
+	}
+	for i := 0; i < n; i++ {
+		a, b := r.Tiles[i], o.Tiles[i]
+		td := TileDelta{
+			Tile:         a.Tile,
+			FreeMemBytes: b.FreeMemBytes - a.FreeMemBytes,
+			FreeUtil:     b.FreeUtil - a.FreeUtil,
+			FreeInBps:    b.FreeInBps - a.FreeInBps,
+			FreeOutBps:   b.FreeOutBps - a.FreeOutBps,
+		}
+		if a.FreeSlots >= 0 && b.FreeSlots >= 0 {
+			td.FreeSlots = b.FreeSlots - a.FreeSlots
+		}
+		if a.Tile != b.Tile || td.FreeMemBytes != 0 || !utilEqual(a.FreeUtil, b.FreeUtil) ||
+			td.FreeInBps != 0 || td.FreeOutBps != 0 || td.FreeSlots != 0 {
+			d.Tiles = append(d.Tiles, td)
+		}
+	}
+	for i := n; i < len(r.Tiles); i++ {
+		d.Tiles = append(d.Tiles, TileDelta{Tile: r.Tiles[i].Tile, FreeMemBytes: -r.Tiles[i].FreeMemBytes})
+	}
+	for i := n; i < len(o.Tiles); i++ {
+		d.Tiles = append(d.Tiles, TileDelta{Tile: o.Tiles[i].Tile, FreeMemBytes: o.Tiles[i].FreeMemBytes})
+	}
+	nl := len(r.Links)
+	if len(o.Links) < nl {
+		nl = len(o.Links)
+	}
+	for i := 0; i < nl; i++ {
+		a, b := r.Links[i], o.Links[i]
+		if a.Link != b.Link || a.FreeBps != b.FreeBps {
+			d.Links = append(d.Links, LinkDelta{Link: a.Link, FreeBps: b.FreeBps - a.FreeBps})
+		}
+	}
+	for i := nl; i < len(r.Links); i++ {
+		d.Links = append(d.Links, LinkDelta{Link: r.Links[i].Link, FreeBps: -r.Links[i].FreeBps})
+	}
+	for i := nl; i < len(o.Links); i++ {
+		d.Links = append(d.Links, LinkDelta{Link: o.Links[i].Link, FreeBps: o.Links[i].FreeBps})
+	}
+	return d
+}
+
 // TotalFreeMem sums the free tile-local memory over all tiles.
 func (r Residual) TotalFreeMem() int64 {
 	var s int64

@@ -85,3 +85,46 @@ func TestResidualReflectsReservations(t *testing.T) {
 		t.Fatalf("residual not restored after reset: %+v", got)
 	}
 }
+
+func TestResidualDiffAttributesChanges(t *testing.T) {
+	p := snapPlatform()
+	before := p.Residual()
+	if d := before.Diff(before); !d.Empty() {
+		t.Fatalf("self-diff not empty: %+v", d)
+	}
+
+	p.Tiles[0].ReservedMem = 1024
+	p.Tiles[0].ReservedUtil = 0.25
+	p.Tiles[1].Occupants = 1
+	p.Links[2].ReservedBps = 400
+	after := p.Residual()
+
+	d := before.Diff(after)
+	if d.Empty() {
+		t.Fatal("diff missed reservations")
+	}
+	if len(d.Tiles) != 2 || len(d.Links) != 1 {
+		t.Fatalf("diff should name exactly the changed resources: %+v", d)
+	}
+	if d.Tiles[0].Tile != before.Tiles[0].Tile || d.Tiles[0].FreeMemBytes != -1024 || !utilEqual(d.Tiles[0].FreeUtil, -0.25) {
+		t.Fatalf("tile 0 delta wrong: %+v", d.Tiles[0])
+	}
+	if d.Tiles[1].FreeSlots != -1 {
+		t.Fatalf("tile 1 slot delta wrong: %+v", d.Tiles[1])
+	}
+	if d.Links[0].Link != after.Links[2].Link || d.Links[0].FreeBps != -400 {
+		t.Fatalf("link delta wrong: %+v", d.Links[0])
+	}
+	if st := d.ShrunkTiles(); len(st) != 2 {
+		t.Fatalf("ShrunkTiles = %v", st)
+	}
+	if sl := d.ShrunkLinks(); len(sl) != 1 || sl[0] != after.Links[2].Link {
+		t.Fatalf("ShrunkLinks = %v", sl)
+	}
+
+	// The reverse diff reports capacity appearing, which is not shrinkage.
+	rd := after.Diff(before)
+	if rd.Empty() || len(rd.ShrunkTiles()) != 0 || len(rd.ShrunkLinks()) != 0 {
+		t.Fatalf("reverse diff should grow, not shrink: %+v", rd)
+	}
+}

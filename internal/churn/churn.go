@@ -1,0 +1,187 @@
+// Package churn drives the concurrent admission pipeline with an online
+// workload: applications from a recurring catalogue arrive through a
+// bounded work queue, run for a while and leave, while N workers map
+// arrivals in parallel against platform snapshots. The cmd/churn driver
+// and the repair acceptance tests share this scenario loop; it reports
+// admission statistics and verifies the reservation ledger is exactly
+// clean after full churn.
+package churn
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rtsm/internal/arch"
+	"rtsm/internal/core"
+	"rtsm/internal/manager"
+	"rtsm/internal/model"
+	"rtsm/internal/workload"
+)
+
+// Options parameterises one churn scenario. The zero value is not
+// runnable; use Defaults (or the cmd/churn flags) as a starting point.
+type Options struct {
+	// Workers is the number of admission worker goroutines; Queue the
+	// work-queue depth (0 = same as workers).
+	Workers int
+	Queue   int
+	// Apps is the number of application arrivals.
+	Apps int
+	// Mesh is the platform's width and height; Seed feeds the platform
+	// generator.
+	Mesh int
+	Seed int64
+	// Catalogue is the number of distinct application structures in
+	// rotation; MaxUtil and PeriodNs shape them.
+	Catalogue int
+	MaxUtil   float64
+	PeriodNs  int64
+	// Resident is how many applications are kept running at once
+	// (0 = 2x workers).
+	Resident int
+	// Reuse enables mapping-template reuse; Repair the incremental
+	// remapping engine; Retries bounds re-mapping rounds per arrival.
+	Reuse   bool
+	Repair  bool
+	Retries int
+	// ErrWriter receives stop errors during the run; nil discards them.
+	ErrWriter io.Writer
+}
+
+// Defaults mirrors the cmd/churn defaults: a moderate 4-worker scenario.
+func Defaults() Options {
+	return Options{
+		Workers:   4,
+		Apps:      400,
+		Mesh:      8,
+		Seed:      123,
+		Catalogue: 64,
+		MaxUtil:   0.15,
+		PeriodNs:  40_000,
+		Reuse:     true,
+		Repair:    true,
+		Retries:   manager.DefaultMaxRetries,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.Queue <= 0 {
+		o.Queue = o.Workers
+	}
+	if o.Resident <= 0 {
+		o.Resident = 2 * o.Workers
+	}
+	if o.Catalogue < 1 {
+		o.Catalogue = 1
+	}
+	return o
+}
+
+// Arrival builds the i-th arrival of the scenario: application structures
+// rotate through the catalogue, names stay unique.
+func (o Options) Arrival(i int) (*model.Application, *model.Library) {
+	s := i % o.Catalogue
+	app, lib := workload.Synthetic(workload.SynthOptions{
+		Shape:     workload.ShapeChain,
+		Processes: 3 + s%3,
+		Seed:      int64(s),
+		MaxUtil:   o.MaxUtil,
+		PeriodNs:  o.PeriodNs,
+	})
+	app.Name = fmt.Sprintf("app-%d", i)
+	return app, lib
+}
+
+// Result is the outcome of one churn run.
+type Result struct {
+	Stats   manager.Stats
+	Elapsed time.Duration
+	// Clean reports that the ledger returned exactly to pristine after
+	// full churn; Drift details the difference when it did not.
+	Clean bool
+	Drift arch.ResidualDiff
+	// LedgerErr is non-nil when CheckInvariants failed during teardown.
+	LedgerErr error
+}
+
+// AdmissionsPerSec is the run's admission throughput.
+func (r Result) AdmissionsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Stats.Admitted) / r.Elapsed.Seconds()
+}
+
+// Run pushes Apps arrivals through a pipeline with the configured worker
+// count, keeping up to Resident applications running at once, then stops
+// everything and checks the ledger.
+func Run(o Options) Result {
+	o = o.withDefaults()
+	plat := workload.SyntheticPlatform(o.Mesh, o.Mesh, o.Seed)
+	pristine := plat.Residual()
+	m := manager.New(plat, core.Config{})
+	m.SetMappingReuse(o.Reuse)
+	m.SetRepair(o.Repair)
+	m.SetMaxRetries(o.Retries)
+	pipe := manager.NewPipeline(m, o.Workers, o.Queue)
+
+	stopErr := func(name string, err error) {
+		if o.ErrWriter != nil {
+			fmt.Fprintf(o.ErrWriter, "churn: stop %s: %v\n", name, err)
+		}
+	}
+	start := time.Now()
+	pending := make(chan (<-chan manager.Outcome), o.Resident)
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		var residents []string
+		for ch := range pending {
+			out := <-ch
+			if !out.Admitted {
+				continue
+			}
+			residents = append(residents, out.App)
+			if len(residents) > o.Resident {
+				oldest := residents[0]
+				residents = residents[1:]
+				if err := m.Stop(oldest); err != nil {
+					stopErr(oldest, err)
+				}
+			}
+		}
+		for _, name := range residents {
+			if err := m.Stop(name); err != nil {
+				stopErr(name, err)
+			}
+		}
+	}()
+	for i := 0; i < o.Apps; i++ {
+		ch, err := pipe.Submit(o.Arrival(i))
+		if err != nil {
+			stopErr(fmt.Sprintf("submit app-%d", i), err)
+			break
+		}
+		pending <- ch
+	}
+	close(pending)
+	pipe.Close()
+	<-collectorDone
+	elapsed := time.Since(start)
+
+	r := Result{Stats: m.Stats(), Elapsed: elapsed}
+	if err := m.CheckInvariants(); err != nil {
+		r.LedgerErr = err
+		return r
+	}
+	final := m.Residual()
+	r.Clean = final.Equal(pristine)
+	if !r.Clean {
+		r.Drift = pristine.Diff(final)
+	}
+	return r
+}

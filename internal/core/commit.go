@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"rtsm/internal/arch"
 	"rtsm/internal/model"
@@ -17,17 +18,94 @@ import (
 // so a conflicting admission yields an error and an untouched platform,
 // never a partial or over-committed reservation.
 
+// ResourceKind names the capacity dimension a validation failure exhausted.
+type ResourceKind int
+
+const (
+	// ResTileMem: tile-local memory (implementation images plus stream
+	// buffers charged to the consumer's tile).
+	ResTileMem ResourceKind = iota
+	// ResTileUtil: processing-element utilisation.
+	ResTileUtil
+	// ResTileOccupancy: the tile's occupant-slot limit.
+	ResTileOccupancy
+	// ResTileNI: the tile's network-interface bandwidth (in or out).
+	ResTileNI
+	// ResLink: guaranteed-throughput bandwidth of one NoC link.
+	ResLink
+)
+
+func (k ResourceKind) String() string {
+	switch k {
+	case ResTileMem:
+		return "tile-memory"
+	case ResTileUtil:
+		return "tile-utilisation"
+	case ResTileOccupancy:
+		return "tile-occupancy"
+	case ResTileNI:
+		return "tile-ni"
+	case ResLink:
+		return "link"
+	}
+	return "?"
+}
+
+// ValidationError is one resource conflict found while validating a
+// mapping against a platform's residual capacity: which resource, on which
+// tile or link, and how far short it falls. Need is what the mapping adds,
+// Avail what the platform still has free — bytes for ResTileMem,
+// a utilisation fraction for ResTileUtil, occupant slots for
+// ResTileOccupancy, and bits per second for ResTileNI and ResLink.
+type ValidationError struct {
+	Kind ResourceKind
+	// Tile is the conflicted tile for the tile kinds, arch.NoTile for
+	// ResLink.
+	Tile arch.TileID
+	// TileName mirrors Tile for human-readable reports.
+	TileName string
+	// Link is the conflicted link for ResLink, -1 otherwise.
+	Link  arch.LinkID
+	Need  float64
+	Avail float64
+}
+
+func (e ValidationError) Error() string {
+	switch e.Kind {
+	case ResLink:
+		return fmt.Sprintf("link %d capacity exhausted (%.0f of needed %.0f bps free)", e.Link, e.Avail, e.Need)
+	case ResTileUtil:
+		return fmt.Sprintf("tile %q over-committed (util need %.3f, free %.3f)", e.TileName, e.Need, e.Avail)
+	case ResTileOccupancy:
+		return fmt.Sprintf("tile %q occupied (need %.0f slots, %.0f free)", e.TileName, e.Need, e.Avail)
+	case ResTileNI:
+		return fmt.Sprintf("tile %q network interface saturated (need %.0f bps, %.0f free)", e.TileName, e.Need, e.Avail)
+	default:
+		return fmt.Sprintf("tile %q memory exhausted (need %.0f bytes, %.0f free)", e.TileName, e.Need, e.Avail)
+	}
+}
+
 // ConflictError reports that a mapping could not be committed because the
 // platform no longer has the resources the mapping relies on — i.e. a
 // competing reservation landed between snapshot and commit. The admission
-// pipeline retries on it with a fresh snapshot.
+// pipeline retries on it with a fresh snapshot; the incremental repair
+// engine reads Violations to keep everything that still fits.
 type ConflictError struct {
-	App    string
-	Detail string
+	App string
+	// Violations attributes the conflict per resource: every exhausted
+	// tile dimension and link, not just the first one found.
+	Violations []ValidationError
 }
 
 func (e *ConflictError) Error() string {
-	return fmt.Sprintf("core: cannot commit %q: %s", e.App, e.Detail)
+	detail := "no violations recorded"
+	if len(e.Violations) > 0 {
+		detail = e.Violations[0].Error()
+		if n := len(e.Violations) - 1; n > 0 {
+			detail = fmt.Sprintf("%s (and %d more)", detail, n)
+		}
+	}
+	return fmt.Sprintf("core: cannot commit %q: %s", e.App, detail)
 }
 
 // tileDelta aggregates what a mapping adds to one tile.
@@ -110,35 +188,63 @@ func planReservations(plat *arch.Platform, res *Result, strict bool) (*commitPla
 	return pl, nil
 }
 
-// validate checks the whole plan against the platform's live residual
-// capacity, returning a ConflictError naming the first exhausted resource.
-func (pl *commitPlan) validate(plat *arch.Platform) error {
-	conflict := func(format string, args ...any) error {
-		return &ConflictError{App: pl.app.Name, Detail: fmt.Sprintf(format, args...)}
+// violations checks the whole plan against the platform's live residual
+// capacity and attributes every conflict to the resource it exhausts. Only
+// the resources the plan touches are visited — this runs inside the
+// manager's serialized commit section — sorted by ID so the report is
+// deterministic.
+func (pl *commitPlan) violations(plat *arch.Platform) []ValidationError {
+	var out []ValidationError
+	tileIDs := make([]arch.TileID, 0, len(pl.tiles))
+	for tid := range pl.tiles {
+		tileIDs = append(tileIDs, tid)
 	}
-	for tid, d := range pl.tiles {
+	sort.Slice(tileIDs, func(i, j int) bool { return tileIDs[i] < tileIDs[j] })
+	for _, tid := range tileIDs {
 		t := plat.Tile(tid)
+		d := pl.tiles[tid]
 		if t.ReservedMem+d.mem > t.MemBytes {
-			return conflict("tile %q memory exhausted (%d of %d bytes free, need %d)",
-				t.Name, t.FreeMem(), t.MemBytes, d.mem)
+			out = append(out, ValidationError{Kind: ResTileMem, Tile: t.ID, TileName: t.Name, Link: -1,
+				Need: float64(d.mem), Avail: float64(t.FreeMem())})
 		}
 		if t.ReservedUtil+d.util > 1.0+utilEps {
-			return conflict("tile %q over-committed (util %.3f + %.3f > 1)",
-				t.Name, t.ReservedUtil, d.util)
+			out = append(out, ValidationError{Kind: ResTileUtil, Tile: t.ID, TileName: t.Name, Link: -1,
+				Need: d.util, Avail: 1.0 - t.ReservedUtil})
 		}
 		if t.MaxOccupants > 0 && t.Occupants+d.occupants > t.MaxOccupants {
-			return conflict("tile %q occupied (%d of max %d)", t.Name, t.Occupants, t.MaxOccupants)
+			out = append(out, ValidationError{Kind: ResTileOccupancy, Tile: t.ID, TileName: t.Name, Link: -1,
+				Need: float64(d.occupants), Avail: float64(t.MaxOccupants - t.Occupants)})
 		}
 		if t.NICapBps > 0 && (t.ReservedInBps+d.inBps > t.NICapBps || t.ReservedOutBps+d.outBps > t.NICapBps) {
-			return conflict("tile %q network interface saturated", t.Name)
+			need, avail := d.inBps, t.NICapBps-t.ReservedInBps
+			if t.ReservedOutBps+d.outBps > t.NICapBps {
+				need, avail = d.outBps, t.NICapBps-t.ReservedOutBps
+			}
+			out = append(out, ValidationError{Kind: ResTileNI, Tile: t.ID, TileName: t.Name, Link: -1,
+				Need: float64(need), Avail: float64(avail)})
 		}
 	}
-	for lid, bps := range pl.links {
+	linkIDs := make([]arch.LinkID, 0, len(pl.links))
+	for lid := range pl.links {
+		linkIDs = append(linkIDs, lid)
+	}
+	sort.Slice(linkIDs, func(i, j int) bool { return linkIDs[i] < linkIDs[j] })
+	for _, lid := range linkIDs {
 		l := plat.Link(lid)
+		bps := pl.links[lid]
 		if l.ReservedBps+bps > l.CapBps {
-			return conflict("link %d capacity exhausted (%d of %d bps free, need %d)",
-				lid, l.FreeBps(), l.CapBps, bps)
+			out = append(out, ValidationError{Kind: ResLink, Tile: arch.NoTile, Link: lid,
+				Need: float64(bps), Avail: float64(l.FreeBps())})
 		}
+	}
+	return out
+}
+
+// validate checks the whole plan against the platform's live residual
+// capacity, returning a ConflictError attributing every exhausted resource.
+func (pl *commitPlan) validate(plat *arch.Platform) error {
+	if vs := pl.violations(plat); len(vs) > 0 {
+		return &ConflictError{App: pl.app.Name, Violations: vs}
 	}
 	return nil
 }
@@ -169,6 +275,18 @@ func Validate(plat *arch.Platform, res *Result) error {
 		return err
 	}
 	return pl.validate(plat)
+}
+
+// Conflicts returns the per-resource violations committing res to plat
+// would hit — empty when Apply would succeed. It is Validate with the
+// attribution exposed; the repair engine diffs a stale mapping against the
+// fresh platform with it.
+func Conflicts(plat *arch.Platform, res *Result) ([]ValidationError, error) {
+	pl, err := planReservations(plat, res, true)
+	if err != nil {
+		return nil, err
+	}
+	return pl.violations(plat), nil
 }
 
 // Apply commits a mapping's resource reservations to a platform: tile

@@ -83,6 +83,31 @@ func TestApplyDetectsStaleSnapshot(t *testing.T) {
 	if conflict.App != "rx-late" {
 		t.Errorf("conflict names %q, want rx-late", conflict.App)
 	}
+	// The conflict is attributed per resource, not as an opaque string:
+	// every violation names the exhausted tile or link and how far the
+	// mapping falls short.
+	if len(conflict.Violations) == 0 {
+		t.Fatal("ConflictError carries no violations")
+	}
+	for _, v := range conflict.Violations {
+		if v.Kind == ResLink {
+			if v.Link < 0 || int(v.Link) >= len(plat.Links) {
+				t.Errorf("link violation names no link: %+v", v)
+			}
+			continue
+		}
+		if v.Tile < 0 || int(v.Tile) >= len(plat.Tiles) || plat.Tile(v.Tile).Name != v.TileName {
+			t.Errorf("tile violation names no tile: %+v", v)
+		}
+		if v.Need <= v.Avail {
+			t.Errorf("violation %v not short on capacity: need %.3f avail %.3f", v.Kind, v.Need, v.Avail)
+		}
+	}
+	// Conflicts is Validate with the attribution exposed.
+	vs, cErr := Conflicts(plat, resSecond)
+	if cErr != nil || len(vs) != len(conflict.Violations) {
+		t.Fatalf("Conflicts = %v, %v; want the same %d violations", vs, cErr, len(conflict.Violations))
+	}
 	if got := plat.Residual(); !got.Equal(mid) {
 		t.Fatalf("failed Apply mutated the platform:\nbefore %+v\nafter  %+v", mid, got)
 	}

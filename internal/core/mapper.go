@@ -80,6 +80,11 @@ type Config struct {
 	MaxStep2Iterations int
 	// MaxRefinements bounds the step-4 feedback loop (0 = 8).
 	MaxRefinements int
+	// MaxRepairRounds bounds Repair's refinement loop (0 = 3). Repair is
+	// the cheap path: it either succeeds within a few rounds — little
+	// changed, little to re-decide — or should hand off to the full map
+	// instead of burning a full refinement budget first.
+	MaxRepairRounds int
 	// ArbitraryOrder disables desirability ordering in step 1, taking
 	// processes in declaration order instead (ablation).
 	ArbitraryOrder bool
@@ -121,6 +126,13 @@ func (c Config) maxRefinements() int {
 		return c.MaxRefinements
 	}
 	return 8
+}
+
+func (c Config) maxRepairRounds() int {
+	if c.MaxRepairRounds > 0 {
+		return c.MaxRepairRounds
+	}
+	return 3
 }
 
 // Mapper binds a configuration and an implementation library.
@@ -176,6 +188,15 @@ type Result struct {
 	// mapping's reservations applied. The caller's platform is never
 	// mutated by Map; use Apply to commit the mapping to it.
 	Platform *arch.Platform
+	// BaseResidual is the residual state of the platform the mapping was
+	// computed against, before this mapping's own reservations. Repair
+	// diffs it against the live residual to detect that nothing changed.
+	BaseResidual arch.Residual
+	// Repaired marks a result produced by Repair rather than a full
+	// four-step map; Pinned counts the process placements it preserved
+	// from the stale mapping (zero for full maps).
+	Repaired bool
+	Pinned   int
 }
 
 // Map runs the four-step algorithm with iterative refinement and returns
@@ -193,7 +214,7 @@ func (m *Mapper) Map(app *model.Application, plat *arch.Platform) (*Result, erro
 	var best, last *Result
 	refinements := 0
 	for round := 0; round <= m.Cfg.maxRefinements(); round++ {
-		res, fb, err := m.attempt(app, plat, tabu)
+		res, fb, err := m.attempt(app, plat, tabu, nil)
 		if err != nil {
 			if best != nil {
 				break
@@ -215,11 +236,13 @@ func (m *Mapper) Map(app *model.Application, plat *arch.Platform) (*Result, erro
 	}
 	if best != nil {
 		best.Refinements = refinements
+		best.BaseResidual = plat.Residual()
 		return best, nil
 	}
 	if last == nil {
 		return nil, fmt.Errorf("core: no mapping attempt completed for %q", app.Name)
 	}
+	last.BaseResidual = plat.Residual()
 	return last, nil
 }
 
@@ -251,8 +274,12 @@ func (m *Mapper) checkAdequacyPossible(app *model.Application, plat *arch.Platfo
 	return nil
 }
 
-// attempt runs steps 1–4 once on a private clone of the platform.
-func (m *Mapper) attempt(app *model.Application, plat *arch.Platform, tabu *tabu) (*Result, *feedback, error) {
+// attempt runs steps 1–4 once on a private clone of the platform. A
+// non-nil seed pre-installs salvaged decisions from a stale mapping: its
+// placements are reserved up front and locked against steps 1 and 2, its
+// routes are reserved and skipped by step 3, so only what the seed leaves
+// open is re-decided (the incremental repair path).
+func (m *Mapper) attempt(app *model.Application, plat *arch.Platform, tabu *tabu, seed *seedMapping) (*Result, *feedback, error) {
 	work := plat.Clone()
 	trace := &Trace{}
 	mapping := &Mapping{
@@ -272,12 +299,15 @@ func (m *Mapper) attempt(app *model.Application, plat *arch.Platform, tabu *tabu
 			mapping.Impl[p.ID] = nil
 		}
 	}
+	if err := seed.install(app, work, mapping); err != nil {
+		return nil, nil, err
+	}
 
 	if fb := m.step1(app, work, mapping, tabu, trace); fb != nil {
 		return m.infeasibleResult(app, work, mapping, trace), fb, nil
 	}
 	if !m.Cfg.NoStep2 {
-		m.step2(app, work, mapping, trace)
+		m.step2(app, work, mapping, seed.lockedSet(), trace)
 	}
 	if fb := m.step3(app, work, mapping, trace); fb != nil {
 		return m.infeasibleResult(app, work, mapping, trace), fb, nil

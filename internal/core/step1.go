@@ -25,9 +25,14 @@ type option struct {
 // chosen implementation is packed first-fit onto a concrete tile so that
 // an adhering assignment is known to exist after this step.
 func (m *Mapper) step1(app *model.Application, work *arch.Platform, mp *Mapping, tb *tabu, tr *Trace) *feedback {
-	procs := app.MappableProcesses()
-	unassigned := make([]*model.Process, len(procs))
-	copy(unassigned, procs)
+	// Processes already carrying an implementation were seeded by the
+	// repair path; their placement is settled and step 1 leaves it alone.
+	var unassigned []*model.Process
+	for _, p := range app.MappableProcesses() {
+		if mp.Impl[p.ID] == nil {
+			unassigned = append(unassigned, p)
+		}
+	}
 
 	for len(unassigned) > 0 {
 		type scored struct {

@@ -15,8 +15,11 @@ import (
 // distances over all stream channels, the metric of the paper's Table 2,
 // which also embodies the "bonus for proximity to the process's
 // neighbours": closer neighbours mean lower cost.
-func (m *Mapper) step2(app *model.Application, work *arch.Platform, mp *Mapping, tr *Trace) {
-	s := &searchState{m: m, app: app, work: work, mp: mp}
+// locked processes (seeded by the repair path) keep their tiles: they are
+// neither moved nor offered as swap partners, but their channels still
+// price into the cost every candidate is scored by.
+func (m *Mapper) step2(app *model.Application, work *arch.Platform, mp *Mapping, locked map[model.ProcessID]bool, tr *Trace) {
+	s := &searchState{m: m, app: app, work: work, mp: mp, locked: locked}
 	s.init()
 	tr.Step2 = append(tr.Step2, Step2Record{
 		Kind:       Initial,
@@ -39,8 +42,9 @@ type searchState struct {
 	work *arch.Platform
 	mp   *Mapping
 
-	procs []*model.Process // mappable processes in declaration order
-	chans []*model.Channel // stream channels
+	procs  []*model.Process         // mappable processes in declaration order
+	chans  []*model.Channel         // stream channels
+	locked map[model.ProcessID]bool // processes step 2 must not relocate
 	// weight[i] multiplies the Manhattan distance of chans[i]; 1 under
 	// HopSum, traffic × hop energy under TrafficWeighted.
 	weight []float64
@@ -171,6 +175,9 @@ func (s *searchState) idleDelta(override map[model.ProcessID]arch.TileID) float6
 // pair is evaluated once per pass. Returns nil if p has no candidates.
 func (s *searchState) bestCandidateFor(pi int) *candidate {
 	p := s.procs[pi]
+	if s.locked[p.ID] {
+		return nil
+	}
 	cur := s.mp.Tile[p.ID]
 	im := s.mp.Impl[p.ID]
 	curTile := s.work.Tile(cur)
@@ -204,6 +211,9 @@ func (s *searchState) bestCandidateFor(pi int) *candidate {
 	// Swaps with later-declared processes on the same tile type.
 	for qi := pi + 1; qi < len(s.procs); qi++ {
 		q := s.procs[qi]
+		if s.locked[q.ID] {
+			continue
+		}
 		qTile := s.mp.Tile[q.ID]
 		if qTile == cur {
 			continue

@@ -21,6 +21,11 @@ func (m *Mapper) step3(app *model.Application, work *arch.Platform, mp *Mapping,
 	}
 	var jobs []job
 	for _, c := range app.StreamChannels() {
+		if _, routed := mp.Route[c.ID]; routed {
+			// Salvaged by the repair path: the route is already reserved
+			// on the working platform.
+			continue
+		}
 		if _, ok := mp.Tile[c.Src]; !ok {
 			continue
 		}

@@ -64,11 +64,17 @@ type Outcome struct {
 	// Wait is the time spent queued before a pipeline worker picked the
 	// request up (zero for direct Admit/Start calls).
 	Wait time.Duration
-	// Map is the total time spent in speculative mapping, outside the
+	// Map is the total time spent in full four-step mapping, outside the
 	// platform lock, summed over attempts.
 	Map time.Duration
+	// Repair is the total time spent in incremental repair of stale
+	// mappings, also outside the platform lock.
+	Repair time.Duration
 	// Commit is the total time spent in the serialized commit section.
 	Commit time.Duration
+	// Repaired is true when the committed mapping came from core.Repair
+	// rather than a full four-step map.
+	Repaired bool
 	// Admission is the resulting reservation record, nil unless admitted.
 	Admission *Admission
 	// Err is nil when admitted and a *RejectionError (or duplicate-name
@@ -89,10 +95,43 @@ type Stats struct {
 	// TemplateHits counts admissions committed from a reused mapping
 	// template without running the mapper (see SetMappingReuse).
 	TemplateHits uint64
-	// Wait, Map and Commit accumulate the respective Outcome durations.
+	// StaleTemplates counts template instantiations where a pool existed
+	// but no remembered placement fit the live platform.
+	StaleTemplates uint64
+	// ConflictRetries counts mapping rounds re-entered after a commit
+	// conflict (the retried subset of Conflicts).
+	ConflictRetries uint64
+	// RepairedConflicts and RepairedTemplates count conflict-retry and
+	// stale-template rounds resolved by core.Repair: the round's mapping
+	// came from refitting the stale one, no full four-step remap ran.
+	// (Whether the commit then wins its own race is a separate event; a
+	// lost commit shows up as a further ConflictRetries round.) Together
+	// with FullRemaps they partition ConflictRetries + StaleTemplates.
+	RepairedConflicts uint64
+	RepairedTemplates uint64
+	// RepairAttempts counts core.Repair invocations, successful or not.
+	RepairAttempts uint64
+	// FullRemaps counts conflict-retry and stale-template rounds that fell
+	// back to the full four-step map (repair disabled, refused or
+	// infeasible).
+	FullRemaps uint64
+	// Wait, Map, Repair and Commit accumulate the respective Outcome
+	// durations.
 	Wait   time.Duration
 	Map    time.Duration
+	Repair time.Duration
 	Commit time.Duration
+}
+
+// RepairRate reports the fraction of retry-or-stale rounds resolved by
+// incremental repair instead of a full remap; the second value is false
+// when no such round happened.
+func (s Stats) RepairRate() (float64, bool) {
+	denom := s.ConflictRetries + s.StaleTemplates
+	if denom == 0 {
+		return 0, false
+	}
+	return float64(s.RepairedConflicts+s.RepairedTemplates) / float64(denom), true
 }
 
 // Manager owns a platform and the set of admitted applications. All
@@ -108,6 +147,7 @@ type Manager struct {
 	stats      Stats
 	maxRetries int
 	templates  *templateCache // nil = mapping reuse disabled
+	repair     bool           // repair stale mappings instead of re-mapping
 }
 
 // New returns a manager over the given platform. The platform is owned by
@@ -120,7 +160,20 @@ func New(plat *arch.Platform, cfg core.Config) *Manager {
 		running:    make(map[string]*Admission),
 		pending:    make(map[string]struct{}),
 		maxRetries: DefaultMaxRetries,
+		repair:     true,
 	}
+}
+
+// SetRepair enables or disables the incremental remapping engine. When on
+// (the default), a commit conflict or a stale template is repaired —
+// core.Repair pins everything that still fits and re-places only the
+// conflicting processes — and the full four-step map runs only when repair
+// refuses or comes back infeasible. When off, every retry re-maps from
+// scratch, the pre-repair behaviour.
+func (m *Manager) SetRepair(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.repair = on
 }
 
 // SetMaxRetries bounds the optimistic-concurrency retry loop (0 disables
@@ -192,6 +245,16 @@ func (m *Manager) Admit(app *model.Application, lib *model.Library) Outcome {
 	return m.admit(app, lib, 0)
 }
 
+// repairTrigger classifies why a round starts from a stale mapping, for
+// the repair-vs-full-remap accounting.
+type repairTrigger int
+
+const (
+	triggerNone     repairTrigger = iota
+	triggerConflict               // a commit conflict invalidated the round's mapping
+	triggerTemplate               // no pooled template placement fit the live platform
+)
+
 func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Duration) Outcome {
 	out := Outcome{App: app.Name, Wait: wait}
 
@@ -208,7 +271,16 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 	}
 	m.pending[app.Name] = struct{}{}
 	tc := m.templates
+	repairOn := m.repair
 	m.mu.Unlock()
+
+	mapper := &core.Mapper{Lib: lib, Cfg: m.cfg}
+
+	// repairFrom is the stale mapping the next round refits instead of
+	// mapping from scratch; trigger records what made it stale.
+	var repairFrom *core.Result
+	trigger := triggerNone
+	var snap *arch.Snapshot
 
 	// Fast path: structurally identical application admitted before —
 	// try committing its mapping directly. Validation against the live
@@ -220,9 +292,20 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 			fp = f
 			if pool := tc.get(fp); len(pool) > 0 {
 				commitStart := time.Now()
+				// Each failed Apply already computed the template's full
+				// violation list; remember the least-conflicted template
+				// as the cheapest one to repair instead of re-validating
+				// the pool afterwards.
+				leastConflicted := pool[0]
+				leastViolations := -1
 				m.mu.Lock()
 				for _, tpl := range pool {
 					if err := core.Apply(m.plat, tpl); err != nil {
+						var conflict *core.ConflictError
+						if errors.As(err, &conflict) &&
+							(leastViolations < 0 || len(conflict.Violations) < leastViolations) {
+							leastConflicted, leastViolations = tpl, len(conflict.Violations)
+						}
 						continue
 					}
 					m.seq++
@@ -234,27 +317,74 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 					m.mu.Unlock()
 					return out
 				}
+				// No remembered placement fits the current residual
+				// state. Instead of discarding the pool, repair a
+				// template against a fresh snapshot: the placements that
+				// still fit stay, only the conflicting processes are
+				// re-placed.
+				m.stats.StaleTemplates++
+				snap = m.plat.Snapshot()
 				m.mu.Unlock()
 				out.Commit += time.Since(commitStart)
-				// No remembered placement fits the current residual
-				// state; fall back to a fresh mapping.
+				trigger = triggerTemplate
+				if repairOn {
+					repairFrom = leastConflicted
+				}
 			}
 		}
 	}
 
-	m.mu.Lock()
-	snap := m.plat.Snapshot()
-	m.mu.Unlock()
+	if snap == nil {
+		m.mu.Lock()
+		snap = m.plat.Snapshot()
+		m.mu.Unlock()
+	}
 
-	mapper := &core.Mapper{Lib: lib, Cfg: m.cfg}
+	// Counters accumulated outside the lock, folded into Stats at the
+	// next commit section.
+	var repairAttempts, fullRemaps uint64
 	for {
 		out.Attempts++
-		mapStart := time.Now()
-		res, mapErr := mapper.Map(app, snap.Plat)
-		out.Map += time.Since(mapStart)
+		var res *core.Result
+		var mapErr error
+		repaired := false
+		if repairFrom != nil {
+			repairStart := time.Now()
+			rep, err := mapper.Repair(repairFrom, snap)
+			out.Repair += time.Since(repairStart)
+			repairAttempts++
+			repairFrom = nil
+			if err == nil && rep.Feasible {
+				res = rep
+				repaired = true
+			}
+		}
+		if res == nil {
+			// Full four-step map: the first round of a normal admission,
+			// or the fallback when repair is off, refused or infeasible.
+			if trigger != triggerNone {
+				fullRemaps++
+			}
+			mapStart := time.Now()
+			res, mapErr = mapper.Map(app, snap.Plat)
+			out.Map += time.Since(mapStart)
+		}
 
 		commitStart := time.Now()
 		m.mu.Lock()
+		m.stats.RepairAttempts += repairAttempts
+		m.stats.FullRemaps += fullRemaps
+		repairAttempts, fullRemaps = 0, 0
+		if repaired {
+			// This retry/stale round was served by repair; no full remap
+			// ran, whatever the commit below decides.
+			switch trigger {
+			case triggerConflict:
+				m.stats.RepairedConflicts++
+			case triggerTemplate:
+				m.stats.RepairedTemplates++
+			}
+		}
 		// The terminal branches below account the commit-section time
 		// into out.Commit *before* finishLocked folds it into Stats; the
 		// retry branches accumulate it after unlocking instead, and it
@@ -273,6 +403,7 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 				snap = m.plat.Snapshot()
 				m.mu.Unlock()
 				out.Commit += time.Since(commitStart)
+				trigger = triggerNone
 				continue
 			}
 			reason := "no feasible mapping with current occupancy"
@@ -287,6 +418,9 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 				m.seq++
 				ad := &Admission{App: app, Result: res, Seq: m.seq}
 				m.running[app.Name] = ad
+				if repaired {
+					out.Repaired = true
+				}
 				out.Commit += time.Since(commitStart)
 				m.finishLocked(&out, ad, nil)
 				if tc != nil && fp != "" {
@@ -299,10 +433,17 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 				m.stats.Conflicts++
 				if out.Attempts <= m.maxRetries {
 					// A competing admission won the resources between
-					// snapshot and commit: re-map on fresh state.
+					// snapshot and commit: repair the mapping we just
+					// computed against fresh state (or re-map from
+					// scratch when repair is off).
+					m.stats.ConflictRetries++
 					snap = m.plat.Snapshot()
 					m.mu.Unlock()
 					out.Commit += time.Since(commitStart)
+					trigger = triggerConflict
+					if repairOn {
+						repairFrom = res
+					}
 					continue
 				}
 			}
@@ -330,6 +471,7 @@ func (m *Manager) finishLocked(out *Outcome, ad *Admission, err error) {
 	}
 	m.stats.Wait += out.Wait
 	m.stats.Map += out.Map
+	m.stats.Repair += out.Repair
 	m.stats.Commit += out.Commit
 }
 
