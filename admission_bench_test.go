@@ -2,8 +2,10 @@ package rtsm
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
+	"rtsm/internal/arch"
 	"rtsm/internal/core"
 	"rtsm/internal/manager"
 	"rtsm/internal/model"
@@ -38,18 +40,18 @@ func churnApp(i int) (*model.Application, *model.Library) {
 	return app, lib
 }
 
-// warmCatalogue runs one admission of every catalogue structure outside
-// the benchmark timer, so all variants measure steady-state throughput
-// (for the reuse-enabled ones that includes a warm template cache)
-// rather than first-arrival costs.
-func warmCatalogue(b *testing.B, m *manager.Manager) {
+// warmCatalogue runs one admission of every catalogue structure (as
+// built by arrival) outside the benchmark timer, so all variants measure
+// steady-state throughput (for the reuse-enabled ones that includes a
+// warm template cache) rather than first-arrival costs.
+func warmCatalogue(b *testing.B, m *manager.Manager, arrival func(s int) (*model.Application, *model.Library)) {
 	// First pass keeps admissions resident, so successive structures are
 	// mapped against an increasingly loaded platform and the remembered
 	// placements spread over the mesh instead of all clustering on the
 	// same first-fit tiles.
 	var names []string
 	for s := 0; s < 64; s++ {
-		app, lib := churnApp(s)
+		app, lib := arrival(s)
 		app.Name = fmt.Sprintf("warm-res-%d", s)
 		if out := m.Admit(app, lib); out.Admitted {
 			names = append(names, app.Name)
@@ -62,7 +64,7 @@ func warmCatalogue(b *testing.B, m *manager.Manager) {
 	}
 	// Second pass adds each structure's empty-platform placement.
 	for s := 0; s < 64; s++ {
-		app, lib := churnApp(s)
+		app, lib := arrival(s)
 		app.Name = fmt.Sprintf("warm-%d", s)
 		if out := m.Admit(app, lib); out.Admitted {
 			if err := m.Stop(app.Name); err != nil {
@@ -76,7 +78,7 @@ func warmCatalogue(b *testing.B, m *manager.Manager) {
 // one at a time from a single goroutine, as the pre-pipeline manager did.
 func BenchmarkAdmissionThroughput(b *testing.B) {
 	m := manager.New(workload.SyntheticPlatform(8, 8, 123), core.Config{})
-	warmCatalogue(b, m)
+	warmCatalogue(b, m, churnApp)
 	base := m.Stats()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -95,7 +97,7 @@ func benchmarkAdmissionParallel(b *testing.B, workers int, reuse, repair bool) {
 	m := manager.New(workload.SyntheticPlatform(8, 8, 123), core.Config{})
 	m.SetMappingReuse(reuse)
 	m.SetRepair(repair)
-	warmCatalogue(b, m)
+	warmCatalogue(b, m, churnApp)
 	base := m.Stats()
 	pipe := manager.NewPipeline(m, workers, workers)
 	defer pipe.Close()
@@ -164,6 +166,164 @@ func BenchmarkAdmissionThroughputParallel8(b *testing.B) {
 // sequential (mapping is CPU-bound) and documents exactly that.
 func BenchmarkAdmissionThroughputParallel4NoReuse(b *testing.B) {
 	benchmarkAdmissionParallel(b, 4, false, true)
+}
+
+// shardApp is churnApp pinned to one region's stream endpoints: arrival i
+// rotates through both the 64-structure catalogue and the platform's
+// regions, so consecutive arrivals land in different mesh regions and
+// their commit footprints are (mostly) disjoint.
+func shardApp(i, regions int) (*model.Application, *model.Library) {
+	s := i % 64
+	r := i % regions
+	app, lib := workload.Synthetic(workload.SynthOptions{
+		Shape:     workload.ShapeChain,
+		Processes: 3 + s%3,
+		Seed:      int64(s),
+		MaxUtil:   0.15,
+		PeriodNs:  40_000,
+		SrcTile:   fmt.Sprintf("SRC%d", r),
+		SinkTile:  fmt.Sprintf("SINK%d", r),
+	})
+	app.Name = fmt.Sprintf("churn-%d", i)
+	return app, lib
+}
+
+// benchmarkAdmissionSharded drives the region-pinned churn workload
+// through a pipeline. Both sides of the sharded-vs-global comparison use
+// the same 8×8 platform with one SRC/SINK pair per 4×4 quadrant and the
+// same round-robin region pinning; `sharded` only selects whether commits
+// take per-region locks (4 regions) or one global region lock. The
+// difference between the two is therefore exactly what sharding the
+// commit path buys.
+func benchmarkAdmissionSharded(b *testing.B, workers int, sharded bool) {
+	const regionSize = 4
+	plat := workload.SyntheticRegionPlatform(8, 8, 123, regionSize)
+	regions := plat.RegionCount()
+	if !sharded {
+		plat.PartitionRegions(0) // same workload, one lock
+	}
+	m := manager.New(plat, core.Config{})
+	m.SetMappingReuse(true)
+	m.SetRepair(true)
+	// Warm the template cache per (structure, region) pair so the timed
+	// section measures steady state.
+	warmCatalogue(b, m, func(s int) (*model.Application, *model.Library) {
+		return shardApp(s, regions)
+	})
+	base := m.Stats()
+	pipe := manager.NewPipeline(m, workers, workers)
+	defer pipe.Close()
+	pending := make(chan (<-chan manager.Outcome), workers)
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		for ch := range pending {
+			out := <-ch
+			if out.Admitted {
+				if err := m.Stop(out.App); err != nil {
+					b.Error(err)
+				}
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app, lib := shardApp(i, regions)
+		ch, err := pipe.Submit(app, lib)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pending <- ch
+	}
+	close(pending)
+	<-collectorDone
+	b.StopTimer()
+	reportAdmissions(b, m, base)
+}
+
+// BenchmarkAdmissionShardedRegions commits the region-pinned workload
+// through per-region locks: admissions whose plans touch disjoint 4×4
+// quadrants of the 8×8 mesh validate and commit fully in parallel.
+// Compare against BenchmarkAdmissionShardedGlobalLock — identical
+// workload, one global lock — to read off what the sharded commit path
+// buys; CI uploads the pair as the sharded-vs-global artifact.
+func BenchmarkAdmissionShardedRegions(b *testing.B) {
+	benchmarkAdmissionSharded(b, 4, true)
+}
+
+// BenchmarkAdmissionShardedGlobalLock is the ablation: the identical
+// region-pinned workload with the platform left unpartitioned, so every
+// commit serializes behind one region lock (the pre-sharding behaviour).
+func BenchmarkAdmissionShardedGlobalLock(b *testing.B) {
+	benchmarkAdmissionSharded(b, 4, false)
+}
+
+// benchmarkCommitOnly isolates the commit section itself: four
+// goroutines repeatedly validate-commit-release pre-computed plans, one
+// per 4×4 quadrant, with no mapping work in the loop. Sharded, each
+// goroutine holds only its own region's lock and the four commit
+// sections proceed concurrently (uncontended locks); global, all four
+// serialize behind one lock. The pair therefore measures exactly what
+// the ISSUE's acceptance criterion names: disjoint-region admissions
+// committing concurrently vs not.
+func benchmarkCommitOnly(b *testing.B, sharded bool) {
+	const regionSize = 4
+	plat := workload.SyntheticRegionPlatform(8, 8, 123, regionSize)
+	regions := plat.RegionCount()
+	if !sharded {
+		plat.PartitionRegions(0) // same platform and plans, one lock
+	}
+	locks := arch.NewRegionLocks(plat.RegionCount())
+	// One pre-mapped application per quadrant, computed on the empty
+	// platform; the timed loop never runs the mapper.
+	plans := make([]*core.Plan, regions)
+	for r := 0; r < regions; r++ {
+		app, lib := workload.Synthetic(workload.SynthOptions{
+			Shape: workload.ShapeChain, Processes: 3, Seed: int64(r),
+			MaxUtil: 0.15, PeriodNs: 40_000,
+			SrcTile: fmt.Sprintf("SRC%d", r), SinkTile: fmt.Sprintf("SINK%d", r),
+		})
+		app.Name = fmt.Sprintf("commit-only-%d", r)
+		mapper := &core.Mapper{Lib: lib}
+		res, err := mapper.Map(app, plat)
+		if err != nil || !res.Feasible {
+			b.Fatalf("fixture mapping for region %d failed: %v", r, err)
+		}
+		plan, err := core.NewPlan(plat, res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plans[r] = plan
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		plan := plans[int(next.Add(1)-1)%regions]
+		footprint := plan.Regions()
+		for pb.Next() {
+			locks.Lock(footprint)
+			if err := plan.Validate(plat); err != nil {
+				locks.Unlock(footprint)
+				b.Error(err)
+				return
+			}
+			plan.Commit(plat)
+			plan.Release(plat)
+			locks.Unlock(footprint)
+		}
+	})
+}
+
+// BenchmarkAdmissionShardedCommitOnly: the per-region-lock commit
+// section, four disjoint quadrants committing concurrently.
+func BenchmarkAdmissionShardedCommitOnly(b *testing.B) {
+	benchmarkCommitOnly(b, true)
+}
+
+// BenchmarkAdmissionShardedCommitOnlyGlobalLock: the same commit
+// sections serialized behind one global region lock.
+func BenchmarkAdmissionShardedCommitOnlyGlobalLock(b *testing.B) {
+	benchmarkCommitOnly(b, false)
 }
 
 // reportAdmissions derives the timed-section metrics: base is the stats

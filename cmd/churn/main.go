@@ -13,6 +13,7 @@
 //	go run ./cmd/churn -workers 8 -apps 1000 # heavier
 //	go run ./cmd/churn -compare              # sequential vs pipeline
 //	go run ./cmd/churn -repair=false         # full remap on every retry
+//	go run ./cmd/churn -regionsize 4         # region-sharded commit path
 package main
 
 import (
@@ -35,6 +36,8 @@ var (
 	util      = flag.Float64("util", 0.15, "max per-implementation utilisation")
 	period    = flag.Int64("period", 40_000, "QoS period in ns")
 	resident  = flag.Int("resident", 0, "applications kept running at once (0 = 2x workers)")
+	regions   = flag.Int("regionsize", 0, "shard the commit path: mesh-region side length (0 = one global region)")
+	globalOne = flag.Bool("globallock", false, "keep -regionsize's workload but commit through one global lock (sharding ablation)")
 	reuse     = flag.Bool("reuse", true, "reuse mapping templates for recurring structures")
 	repair    = flag.Bool("repair", true, "repair stale mappings instead of re-mapping from scratch")
 	retries   = flag.Int("retries", manager.DefaultMaxRetries, "max re-mapping rounds per arrival")
@@ -43,19 +46,21 @@ var (
 
 func options() churn.Options {
 	return churn.Options{
-		Workers:   *workers,
-		Queue:     *queue,
-		Apps:      *apps,
-		Mesh:      *mesh,
-		Seed:      *seed,
-		Catalogue: *catalogue,
-		MaxUtil:   *util,
-		PeriodNs:  *period,
-		Resident:  *resident,
-		Reuse:     *reuse,
-		Repair:    *repair,
-		Retries:   *retries,
-		ErrWriter: os.Stderr,
+		Workers:    *workers,
+		Queue:      *queue,
+		Apps:       *apps,
+		Mesh:       *mesh,
+		Seed:       *seed,
+		Catalogue:  *catalogue,
+		MaxUtil:    *util,
+		PeriodNs:   *period,
+		Resident:   *resident,
+		RegionSize: *regions,
+		GlobalLock: *globalOne,
+		Reuse:      *reuse,
+		Repair:     *repair,
+		Retries:    *retries,
+		ErrWriter:  os.Stderr,
 	}
 }
 
@@ -63,6 +68,7 @@ func report(label string, r churn.Result) {
 	st := r.Stats
 	total := st.Admitted + st.Rejected
 	fmt.Printf("%s:\n", label)
+	fmt.Printf("  commit sharding   %d region(s)\n", r.Regions)
 	fmt.Printf("  arrivals          %d (%d admitted, %d rejected, %.1f%% admitted)\n",
 		total, st.Admitted, st.Rejected, 100*float64(st.Admitted)/float64(max(total, 1)))
 	fmt.Printf("  throughput        %.1f admissions/sec over %v\n", r.AdmissionsPerSec(), r.Elapsed.Round(time.Millisecond))

@@ -52,6 +52,7 @@ func (p Point) Manhattan(q Point) int {
 	return abs(p.X-q.X) + abs(p.Y-q.Y)
 }
 
+// String renders the point as "(x,y)".
 func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
 
 func abs(v int) int {

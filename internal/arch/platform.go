@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Platform is a complete MPSoC description: tiles, routers and links. The
@@ -25,8 +26,15 @@ type Platform struct {
 	byName map[string]TileID // tile name -> id
 	atRtr  map[RouterID][]TileID
 
-	// version counts committed reservation changes; see Snapshot.
-	version uint64
+	// version counts committed reservation changes across the whole
+	// platform; see Snapshot. It is atomic so commits holding disjoint
+	// region locks can bump it without sharing a lock.
+	version atomic.Uint64
+	// grid is the region partition (nil = one region covering the mesh);
+	// regionVersions holds one reservation version per region, mutated
+	// only under the owning region's lock. See region.go.
+	grid           *regionGrid
+	regionVersions []uint64
 }
 
 // NewMesh creates a w×h mesh of routers with bidirectional links of the
@@ -37,12 +45,13 @@ func NewMesh(name string, w, h int, linkCapBps int64) *Platform {
 		panic(fmt.Sprintf("arch: invalid mesh dimensions %d×%d", w, h))
 	}
 	p := &Platform{
-		Name:       name,
-		Width:      w,
-		Height:     h,
-		NoCClockHz: 200_000_000,
-		byName:     make(map[string]TileID),
-		atRtr:      make(map[RouterID][]TileID),
+		Name:           name,
+		Width:          w,
+		Height:         h,
+		NoCClockHz:     200_000_000,
+		byName:         make(map[string]TileID),
+		atRtr:          make(map[RouterID][]TileID),
+		regionVersions: []uint64{0},
 	}
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -214,7 +223,10 @@ func (p *Platform) ResetReservations() {
 	for _, l := range p.Links {
 		l.ReservedBps = 0
 	}
-	p.version++
+	p.version.Add(1)
+	for r := range p.regionVersions {
+		p.regionVersions[r]++
+	}
 }
 
 // Clone returns a deep copy of the platform including reservation state.
@@ -222,16 +234,18 @@ func (p *Platform) ResetReservations() {
 // disturbing committed state.
 func (p *Platform) Clone() *Platform {
 	q := &Platform{
-		Name:       p.Name,
-		Width:      p.Width,
-		Height:     p.Height,
-		NoCClockHz: p.NoCClockHz,
-		out:        p.out, // immutable after construction
-		in:         p.in,
-		byName:     p.byName,
-		atRtr:      p.atRtr,
-		version:    p.version,
+		Name:           p.Name,
+		Width:          p.Width,
+		Height:         p.Height,
+		NoCClockHz:     p.NoCClockHz,
+		out:            p.out, // immutable after construction
+		in:             p.in,
+		byName:         p.byName,
+		atRtr:          p.atRtr,
+		grid:           p.grid, // immutable once partitioned
+		regionVersions: p.regionVersionsSnapshot(),
 	}
+	q.version.Store(p.version.Load())
 	q.Tiles = make([]*Tile, len(p.Tiles))
 	for i, t := range p.Tiles {
 		c := *t

@@ -1,0 +1,218 @@
+package arch
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPartitionSingleRegionDefault pins the degenerate case: an
+// unpartitioned platform is one region covering the whole mesh, and every
+// tile and link belongs to it.
+func TestPartitionSingleRegionDefault(t *testing.T) {
+	p := NewMesh("m", 4, 3, 1000)
+	p.AttachTile(TileSpec{Name: "t", Type: TypeARM, At: Pt(2, 1), ClockHz: 1, MemBytes: 1})
+	if got := p.RegionCount(); got != 1 {
+		t.Fatalf("unpartitioned RegionCount = %d, want 1", got)
+	}
+	r := p.Region(0)
+	if r.X0 != 0 || r.Y0 != 0 || r.X1 != 3 || r.Y1 != 2 {
+		t.Fatalf("single region bounds = %+v, want the whole 4×3 mesh", r)
+	}
+	if got := p.RegionOfTile(0); got != 0 {
+		t.Fatalf("RegionOfTile = %d, want 0", got)
+	}
+	for _, l := range p.Links {
+		if got := p.RegionOfLink(l.ID); got != 0 {
+			t.Fatalf("RegionOfLink(%d) = %d, want 0", l.ID, got)
+		}
+	}
+}
+
+// TestPartitionOneByOneMesh checks the smallest platform: a 1×1 mesh
+// partitions into exactly one region for every region size.
+func TestPartitionOneByOneMesh(t *testing.T) {
+	p := NewMesh("tiny", 1, 1, 1000)
+	for _, size := range []int{0, 1, 2, 8} {
+		if got := p.PartitionRegions(size); got != 1 {
+			t.Fatalf("PartitionRegions(%d) on 1×1 mesh = %d regions, want 1", size, got)
+		}
+		if got := p.RegionOfPoint(Pt(0, 0)); got != 0 {
+			t.Fatalf("RegionOfPoint = %d, want 0", got)
+		}
+	}
+}
+
+// TestPartitionLargerThanMesh checks that a region size exceeding both
+// mesh dimensions collapses to the single-region degenerate case.
+func TestPartitionLargerThanMesh(t *testing.T) {
+	p := NewMesh("m", 3, 2, 1000)
+	if got := p.PartitionRegions(5); got != 1 {
+		t.Fatalf("PartitionRegions(5) on 3×2 mesh = %d regions, want 1", got)
+	}
+	if p.Region(0).X1 != 2 || p.Region(0).Y1 != 1 {
+		t.Fatalf("degenerate region bounds = %+v", p.Region(0))
+	}
+}
+
+// TestPartitionGeometry checks the 8×8 / size-4 quadrant partition: four
+// regions, row-major, with every router owned by the quadrant containing
+// it and boundary-crossing links owned by their source router's region.
+func TestPartitionGeometry(t *testing.T) {
+	p := NewMesh("m", 8, 8, 1000)
+	if got := p.PartitionRegions(4); got != 4 {
+		t.Fatalf("PartitionRegions(4) on 8×8 = %d regions, want 4", got)
+	}
+	cases := []struct {
+		pt   Point
+		want RegionID
+	}{
+		{Pt(0, 0), 0}, {Pt(3, 3), 0}, {Pt(4, 0), 1}, {Pt(7, 3), 1},
+		{Pt(0, 4), 2}, {Pt(3, 7), 2}, {Pt(4, 4), 3}, {Pt(7, 7), 3},
+	}
+	for _, c := range cases {
+		if got := p.RegionOfPoint(c.pt); got != c.want {
+			t.Errorf("RegionOfPoint(%v) = %d, want %d", c.pt, got, c.want)
+		}
+	}
+	// A link crossing the vertical boundary from (3,0) to (4,0) belongs
+	// to region 0 (its source); the reverse link to region 1.
+	a := p.RouterAt(Pt(3, 0)).ID
+	b := p.RouterAt(Pt(4, 0)).ID
+	east := p.LinkBetween(a, b)
+	west := p.LinkBetween(b, a)
+	if east == nil || west == nil {
+		t.Fatal("expected boundary links in both directions")
+	}
+	if got := p.RegionOfLink(east.ID); got != 0 {
+		t.Errorf("eastward boundary link region = %d, want 0", got)
+	}
+	if got := p.RegionOfLink(west.ID); got != 1 {
+		t.Errorf("westward boundary link region = %d, want 1", got)
+	}
+	// Clipped partitions: 5×5 with size 3 → 2×2 regions, the right and
+	// bottom ones clipped.
+	q := NewMesh("m2", 5, 5, 1000)
+	if got := q.PartitionRegions(3); got != 4 {
+		t.Fatalf("PartitionRegions(3) on 5×5 = %d regions, want 4", got)
+	}
+	if r := q.Region(3); r.X0 != 3 || r.Y0 != 3 || r.X1 != 4 || r.Y1 != 4 {
+		t.Fatalf("clipped region 3 bounds = %+v, want (3,3)-(4,4)", r)
+	}
+}
+
+// TestRegionVersionsIndependent checks that BumpRegion advances only the
+// bumped region's version and that snapshots carry the whole vector.
+func TestRegionVersionsIndependent(t *testing.T) {
+	p := NewMesh("m", 4, 4, 1000)
+	p.PartitionRegions(2)
+	p.BumpRegion(1)
+	p.BumpRegion(1)
+	p.BumpRegion(3)
+	want := []uint64{0, 2, 0, 1}
+	for r, w := range want {
+		if got := p.RegionVersion(RegionID(r)); got != w {
+			t.Errorf("RegionVersion(%d) = %d, want %d", r, got, w)
+		}
+	}
+	snap := p.Snapshot()
+	for r, w := range want {
+		if snap.RegionVersions[r] != w {
+			t.Errorf("snapshot RegionVersions[%d] = %d, want %d", r, snap.RegionVersions[r], w)
+		}
+	}
+	// The snapshot's vector is a copy, not an alias.
+	p.BumpRegion(0)
+	if snap.RegionVersions[0] != 0 {
+		t.Error("snapshot region versions aliased the live platform")
+	}
+	// Clone carries the partition and the version vector.
+	c := p.Clone()
+	if c.RegionCount() != 4 || c.RegionVersion(1) != 2 {
+		t.Errorf("clone partition/versions not carried: count=%d v1=%d", c.RegionCount(), c.RegionVersion(1))
+	}
+	// ResetReservations touches every region.
+	pre := make([]uint64, 4)
+	for r := range pre {
+		pre[r] = p.RegionVersion(RegionID(r))
+	}
+	p.ResetReservations()
+	for r := 0; r < 4; r++ {
+		if now := p.RegionVersion(RegionID(r)); now != pre[r]+1 {
+			t.Errorf("ResetReservations bumped region %d to %d, want %d", r, now, pre[r]+1)
+		}
+	}
+}
+
+// TestResidualDiffRegions checks that a diff names exactly the regions of
+// the changed resources.
+func TestResidualDiffRegions(t *testing.T) {
+	p := NewMesh("m", 4, 4, 1000)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			p.AttachTile(TileSpec{Name: Pt(x, y).String(), Type: TypeARM, At: Pt(x, y),
+				ClockHz: 1, MemBytes: 100})
+		}
+	}
+	p.PartitionRegions(2)
+	before := p.Residual()
+	// Consume memory on a region-3 tile and bandwidth on a region-0 link.
+	p.TileByName(Pt(3, 3).String()).ReservedMem = 10
+	p.Links[0].ReservedBps = 5
+	diff := before.Diff(p.Residual())
+	regions := diff.Regions(p)
+	if len(regions) != 2 || regions[0] != 0 || regions[1] != 3 {
+		t.Fatalf("diff regions = %v, want [0 3]", regions)
+	}
+}
+
+// TestRegionLocksOrdering hammers overlapping footprints from many
+// goroutines. Footprints are acquired in canonical ascending order, so
+// straddling lock sets must neither deadlock nor race; the shared
+// counters would trip -race if mutual exclusion failed.
+func TestRegionLocksOrdering(t *testing.T) {
+	const regions = 4
+	l := NewRegionLocks(regions)
+	counters := make([]int, regions)
+	// Deliberately unsorted, duplicated, straddling footprints.
+	footprints := [][]RegionID{
+		{0}, {3, 0}, {1, 2}, {2, 1, 2}, {3}, {0, 1, 2, 3}, {2, 0}, {3, 1},
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				fp := footprints[(w+i)%len(footprints)]
+				l.Lock(fp)
+				seen := make(map[RegionID]bool)
+				for _, r := range fp {
+					if !seen[r] {
+						seen[r] = true
+						counters[r]++
+					}
+				}
+				l.Unlock(fp)
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counters {
+		total += c
+	}
+	want := 0
+	for w := 0; w < 8; w++ {
+		for i := 0; i < 500; i++ {
+			fp := footprints[(w+i)%len(footprints)]
+			seen := make(map[RegionID]bool)
+			for _, r := range fp {
+				seen[r] = true
+			}
+			want += len(seen)
+		}
+	}
+	if total != want {
+		t.Fatalf("lost increments under contention: got %d, want %d", total, want)
+	}
+}

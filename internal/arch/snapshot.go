@@ -23,26 +23,37 @@ type Snapshot struct {
 	// Version is the platform's reservation version at the time the
 	// snapshot was taken.
 	Version uint64
+	// RegionVersions are the per-region reservation versions at the time
+	// the snapshot was taken, indexed by RegionID. A commit can compare
+	// just its footprint's entries against the live platform to detect
+	// region-local staleness.
+	RegionVersions []uint64
 }
 
 // Snapshot returns a deep copy of the platform tagged with its current
-// reservation version. The caller must hold whatever lock serializes
-// mutations of this platform.
+// global and per-region reservation versions. The caller must hold
+// whatever serializes mutations of this platform — with region locks,
+// that means all of them, since the copy spans every region.
 func (p *Platform) Snapshot() *Snapshot {
-	return &Snapshot{Plat: p.Clone(), Version: p.version}
+	return &Snapshot{
+		Plat:           p.Clone(),
+		Version:        p.version.Load(),
+		RegionVersions: p.regionVersionsSnapshot(),
+	}
 }
 
 // Version returns the platform's reservation version: a counter bumped on
 // every committed reservation change (Apply, Remove, ResetReservations).
-func (p *Platform) Version() uint64 { return p.version }
+// The counter is atomic, so reading it needs no lock; the reservation
+// state it summarises still does.
+func (p *Platform) Version() uint64 { return p.version.Load() }
 
 // BumpVersion records that the platform's reservation state changed and
 // returns the new version. Package core calls it when committing or
 // releasing a mapping; callers mutating reservations directly should call
 // it themselves if they rely on version-based conflict detection.
 func (p *Platform) BumpVersion() uint64 {
-	p.version++
-	return p.version
+	return p.version.Add(1)
 }
 
 // TileResidual is the uncommitted capacity of one tile.
@@ -79,7 +90,7 @@ type Residual struct {
 // called with the platform lock held when the platform is shared.
 func (p *Platform) Residual() Residual {
 	r := Residual{
-		Version: p.version,
+		Version: p.version.Load(),
 		Tiles:   make([]TileResidual, len(p.Tiles)),
 		Links:   make([]LinkResidual, len(p.Links)),
 	}
@@ -185,6 +196,22 @@ func (d ResidualDiff) ShrunkLinks() []LinkID {
 		}
 	}
 	return out
+}
+
+// Regions returns the regions of p touched by the diff — the owners of
+// every tile and link whose free capacity changed — sorted ascending
+// without duplicates. The incremental repair engine intersects it with a
+// stale mapping's region footprint: a diff confined to foreign regions
+// cannot have invalidated the mapping.
+func (d ResidualDiff) Regions(p *Platform) []RegionID {
+	seen := make(RegionSet)
+	for _, t := range d.Tiles {
+		seen.Add(p.RegionOfTile(t.Tile))
+	}
+	for _, l := range d.Links {
+		seen.Add(p.RegionOfLink(l.Link))
+	}
+	return seen.Sorted()
 }
 
 // Diff computes o − r per resource: what changed between this residual

@@ -40,6 +40,20 @@ type Options struct {
 	// Resident is how many applications are kept running at once
 	// (0 = 2x workers).
 	Resident int
+	// RegionSize shards the platform's commit path: the mesh is
+	// partitioned into square regions of this side length, each with its
+	// own reservation version and lock, and arrivals are pinned
+	// round-robin to per-region stream endpoints so admissions landing
+	// in different regions commit against disjoint locks. 0 keeps the
+	// single-region platform with the global SRC0/SINK0 endpoints — the
+	// pre-sharding behaviour.
+	RegionSize int
+	// GlobalLock departitions the platform after layout: the workload
+	// keeps RegionSize's per-region stream endpoints and round-robin
+	// pinning, but every commit goes through one global region lock.
+	// This isolates what lock sharding itself buys — same arrivals, same
+	// platform geometry, different lock granularity.
+	GlobalLock bool
 	// Reuse enables mapping-template reuse; Repair the incremental
 	// remapping engine; Retries bounds re-mapping rounds per arrival.
 	Reuse   bool
@@ -82,16 +96,27 @@ func (o Options) withDefaults() Options {
 }
 
 // Arrival builds the i-th arrival of the scenario: application structures
-// rotate through the catalogue, names stay unique.
-func (o Options) Arrival(i int) (*model.Application, *model.Library) {
+// rotate through the catalogue, names stay unique. endpointRegions is the
+// number of per-region stream-endpoint pairs the scenario's platform
+// carries (its RegionCount as laid out by SyntheticRegionPlatform, before
+// any GlobalLock departition); with more than one, arrivals are pinned
+// round-robin to SRC<r>/SINK<r>, so consecutive arrivals land in
+// different regions.
+func (o Options) Arrival(i, endpointRegions int) (*model.Application, *model.Library) {
 	s := i % o.Catalogue
-	app, lib := workload.Synthetic(workload.SynthOptions{
+	opts := workload.SynthOptions{
 		Shape:     workload.ShapeChain,
 		Processes: 3 + s%3,
 		Seed:      int64(s),
 		MaxUtil:   o.MaxUtil,
 		PeriodNs:  o.PeriodNs,
-	})
+	}
+	if endpointRegions > 1 {
+		r := i % endpointRegions
+		opts.SrcTile = fmt.Sprintf("SRC%d", r)
+		opts.SinkTile = fmt.Sprintf("SINK%d", r)
+	}
+	app, lib := workload.Synthetic(opts)
 	app.Name = fmt.Sprintf("app-%d", i)
 	return app, lib
 }
@@ -100,6 +125,9 @@ func (o Options) Arrival(i int) (*model.Application, *model.Library) {
 type Result struct {
 	Stats   manager.Stats
 	Elapsed time.Duration
+	// Regions is the platform's region count: 1 for the global
+	// single-lock commit path, more when the scenario sharded it.
+	Regions int
 	// Clean reports that the ledger returned exactly to pristine after
 	// full churn; Drift details the difference when it did not.
 	Clean bool
@@ -121,7 +149,20 @@ func (r Result) AdmissionsPerSec() float64 {
 // everything and checks the ledger.
 func Run(o Options) Result {
 	o = o.withDefaults()
-	plat := workload.SyntheticPlatform(o.Mesh, o.Mesh, o.Seed)
+	var plat *arch.Platform
+	endpointRegions := 1
+	if o.RegionSize > 0 {
+		plat = workload.SyntheticRegionPlatform(o.Mesh, o.Mesh, o.Seed, o.RegionSize)
+		// The endpoint layout follows the sharded geometry even when
+		// GlobalLock then collapses the partition: same workload, one
+		// lock — that difference is exactly what the ablation measures.
+		endpointRegions = plat.RegionCount()
+		if o.GlobalLock {
+			plat.PartitionRegions(0)
+		}
+	} else {
+		plat = workload.SyntheticPlatform(o.Mesh, o.Mesh, o.Seed)
+	}
 	pristine := plat.Residual()
 	m := manager.New(plat, core.Config{})
 	m.SetMappingReuse(o.Reuse)
@@ -161,7 +202,7 @@ func Run(o Options) Result {
 		}
 	}()
 	for i := 0; i < o.Apps; i++ {
-		ch, err := pipe.Submit(o.Arrival(i))
+		ch, err := pipe.Submit(o.Arrival(i, endpointRegions))
 		if err != nil {
 			stopErr(fmt.Sprintf("submit app-%d", i), err)
 			break
@@ -173,7 +214,7 @@ func Run(o Options) Result {
 	<-collectorDone
 	elapsed := time.Since(start)
 
-	r := Result{Stats: m.Stats(), Elapsed: elapsed}
+	r := Result{Stats: m.Stats(), Elapsed: elapsed, Regions: plat.RegionCount()}
 	if err := m.CheckInvariants(); err != nil {
 		r.LedgerErr = err
 		return r

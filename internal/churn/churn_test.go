@@ -50,6 +50,55 @@ func TestChurnRepairOffStillClean(t *testing.T) {
 	}
 }
 
+// TestChurnShardedRegionsClean runs the churn scenario with the commit
+// path sharded into four mesh regions and arrivals pinned round-robin to
+// per-region stream endpoints. The CI test step runs this under -race:
+// disjoint-region admissions commit concurrently under different locks,
+// and the ledger must still return exactly to pristine.
+func TestChurnShardedRegionsClean(t *testing.T) {
+	opts := Defaults()
+	opts.Apps = 80
+	opts.Mesh = 8
+	opts.Catalogue = 8
+	opts.RegionSize = 4
+	r := Run(opts)
+	if r.Regions != 4 {
+		t.Fatalf("scenario ran with %d regions, want 4", r.Regions)
+	}
+	if r.LedgerErr != nil {
+		t.Fatalf("ledger invariant violated: %v", r.LedgerErr)
+	}
+	if r.Stats.Admitted == 0 {
+		t.Fatal("sharded churn admitted nothing; workload broken")
+	}
+	if !r.Clean {
+		t.Fatalf("ledger not pristine after sharded churn: %d tiles, %d links drifted",
+			len(r.Drift.Tiles), len(r.Drift.Links))
+	}
+}
+
+// TestChurnShardedGlobalLockAblation pins the ablation configuration the
+// benchmarks compare against: the identical region-pinned workload with
+// the platform departitioned, so every commit serializes behind one lock.
+func TestChurnShardedGlobalLockAblation(t *testing.T) {
+	opts := Defaults()
+	opts.Apps = 40
+	opts.Mesh = 8
+	opts.Catalogue = 8
+	opts.RegionSize = 4
+	opts.GlobalLock = true
+	r := Run(opts)
+	if r.Regions != 1 {
+		t.Fatalf("global-lock ablation ran with %d regions, want 1", r.Regions)
+	}
+	if r.LedgerErr != nil || !r.Clean {
+		t.Fatalf("global-lock ablation not clean: err=%v clean=%v", r.LedgerErr, r.Clean)
+	}
+	if r.Stats.Admitted == 0 {
+		t.Fatal("ablation admitted nothing; workload broken")
+	}
+}
+
 // TestChurnRepairResolvesMajorityOfRetries is the acceptance bar of the
 // incremental remapping engine: under a contended 4-worker churn, at
 // least half of the commit-conflict retries and stale-template

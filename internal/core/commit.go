@@ -35,6 +35,7 @@ const (
 	ResLink
 )
 
+// String names the capacity dimension for human-readable reports.
 func (k ResourceKind) String() string {
 	switch k {
 	case ResTileMem:
@@ -68,8 +69,14 @@ type ValidationError struct {
 	Link  arch.LinkID
 	Need  float64
 	Avail float64
+	// Region is the mesh region owning the conflicted tile or link, so
+	// the manager's repair/retry and template selection can stay
+	// region-local. Zero on an unpartitioned platform.
+	Region arch.RegionID
 }
 
+// Error renders the violation with its resource, shortfall and tile or
+// link identity.
 func (e ValidationError) Error() string {
 	switch e.Kind {
 	case ResLink:
@@ -95,8 +102,13 @@ type ConflictError struct {
 	// Violations attributes the conflict per resource: every exhausted
 	// tile dimension and link, not just the first one found.
 	Violations []ValidationError
+	// Regions lists the regions owning the conflicted resources, sorted
+	// ascending without duplicates. A retry that repairs region-locally
+	// knows from this which part of the mesh to re-examine.
+	Regions []arch.RegionID
 }
 
+// Error summarises the first violation and how many more there are.
 func (e *ConflictError) Error() string {
 	detail := "no violations recorded"
 	if len(e.Violations) > 0 {
@@ -124,6 +136,25 @@ type commitPlan struct {
 	app   *model.Application
 	tiles map[arch.TileID]*tileDelta
 	links map[arch.LinkID]int64
+	// regions is the plan's region footprint: the owners of every tile
+	// and link the plan touches, ascending without duplicates. Validation
+	// and commit only read and mutate state inside these regions, so they
+	// are exactly the locks a sharded commit must hold.
+	regions []arch.RegionID
+}
+
+// footprint computes the plan's region footprint on the given platform.
+// It reads only static topology (tile→router attachment, link endpoints,
+// the partition geometry), so it is safe to call without any region lock.
+func (pl *commitPlan) footprint(plat *arch.Platform) []arch.RegionID {
+	seen := make(arch.RegionSet)
+	for tid := range pl.tiles {
+		seen.Add(plat.RegionOfTile(tid))
+	}
+	for lid := range pl.links {
+		seen.Add(plat.RegionOfLink(lid))
+	}
+	return seen.Sorted()
 }
 
 func (pl *commitPlan) tile(id arch.TileID) *tileDelta {
@@ -185,6 +216,7 @@ func planReservations(plat *arch.Platform, res *Result, strict bool) (*commitPla
 			pl.tile(mp.Tile[c.Dst]).mem += buf * c.TokenBytes
 		}
 	}
+	pl.regions = pl.footprint(plat)
 	return pl, nil
 }
 
@@ -237,19 +269,38 @@ func (pl *commitPlan) violations(plat *arch.Platform) []ValidationError {
 				Need: float64(bps), Avail: float64(l.FreeBps())})
 		}
 	}
+	for i := range out {
+		if out[i].Kind == ResLink {
+			out[i].Region = plat.RegionOfLink(out[i].Link)
+		} else {
+			out[i].Region = plat.RegionOfTile(out[i].Tile)
+		}
+	}
 	return out
+}
+
+// conflictRegions collects the distinct regions of a violation list,
+// ascending.
+func conflictRegions(vs []ValidationError) []arch.RegionID {
+	seen := make(arch.RegionSet, len(vs))
+	for _, v := range vs {
+		seen.Add(v.Region)
+	}
+	return seen.Sorted()
 }
 
 // validate checks the whole plan against the platform's live residual
 // capacity, returning a ConflictError attributing every exhausted resource.
 func (pl *commitPlan) validate(plat *arch.Platform) error {
 	if vs := pl.violations(plat); len(vs) > 0 {
-		return &ConflictError{App: pl.app.Name, Violations: vs}
+		return &ConflictError{App: pl.app.Name, Violations: vs, Regions: conflictRegions(vs)}
 	}
 	return nil
 }
 
-// commit applies the plan. sign is +1 to reserve, -1 to release.
+// commit applies the plan. sign is +1 to reserve, -1 to release. Besides
+// the global version it bumps the version of every region in the plan's
+// footprint — the caller holds exactly those region locks.
 func (pl *commitPlan) commit(plat *arch.Platform, sign int64) {
 	for tid, d := range pl.tiles {
 		t := plat.Tile(tid)
@@ -261,6 +312,9 @@ func (pl *commitPlan) commit(plat *arch.Platform, sign int64) {
 	}
 	for lid, bps := range pl.links {
 		plat.Link(lid).ReservedBps += sign * bps
+	}
+	for _, r := range pl.regions {
+		plat.BumpRegion(r)
 	}
 	plat.BumpVersion()
 }
@@ -298,23 +352,97 @@ func Conflicts(plat *arch.Platform, res *Result) ([]ValidationError, error) {
 // platform's residual capacity first, and on any failure — including a
 // *ConflictError when a competing admission claimed the resources since
 // the mapping's snapshot was taken — the platform is left untouched.
+//
+// Apply assumes the caller serializes all access to plat (one lock for
+// the whole platform). Sharded callers that only hold the locks of the
+// regions a mapping touches use NewPlan instead, which separates the
+// lock-free planning from the locked validate-and-commit.
 func Apply(plat *arch.Platform, res *Result) error {
-	pl, err := planReservations(plat, res, true)
+	pl, err := NewPlan(plat, res)
 	if err != nil {
 		return err
 	}
-	if err := pl.validate(plat); err != nil {
+	if err := pl.Validate(plat); err != nil {
 		return err
 	}
-	pl.commit(plat, +1)
+	pl.Commit(plat)
 	return nil
 }
 
-// Remove releases a previously applied mapping's reservations.
+// Remove releases a previously applied mapping's reservations. Like
+// Apply it assumes whole-platform serialization; sharded callers use
+// NewRemovalPlan and Plan.Release under the footprint's region locks.
 func Remove(plat *arch.Platform, res *Result) {
-	pl, err := planReservations(plat, res, false)
+	pl, err := NewRemovalPlan(plat, res)
 	if err != nil {
 		return // lenient planning never errors; keep the compiler honest
 	}
-	pl.commit(plat, -1)
+	pl.Release(plat)
+}
+
+// Plan is the aggregated reservation set of one mapping, ready to be
+// validated and committed under the region locks of its footprint. It is
+// the unit of the sharded commit path: NewPlan aggregates and computes
+// the footprint without any lock (it reads only the mapping and static
+// platform topology), the caller then takes the footprint's region locks
+// in canonical order (arch.RegionLocks.Lock) and runs Validate/Commit,
+// which touch reservation state only inside those regions.
+type Plan struct {
+	pl *commitPlan
+}
+
+// NewPlan aggregates the reservations res makes into a Plan, strictly: an
+// incomplete mapping is an error. No reservation state is read, so no
+// lock is needed.
+func NewPlan(plat *arch.Platform, res *Result) (*Plan, error) {
+	pl, err := planReservations(plat, res, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{pl: pl}, nil
+}
+
+// NewRemovalPlan aggregates the reservations res holds for release,
+// leniently: processes a partially built mapping never placed are
+// skipped, matching Remove's tolerance.
+func NewRemovalPlan(plat *arch.Platform, res *Result) (*Plan, error) {
+	pl, err := planReservations(plat, res, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{pl: pl}, nil
+}
+
+// App returns the name of the application the plan reserves for.
+func (p *Plan) App() string { return p.pl.app.Name }
+
+// Regions returns the plan's region footprint, ascending without
+// duplicates: exactly the region locks Validate, Commit and Release need.
+// The returned slice is owned by the plan; do not modify it.
+func (p *Plan) Regions() []arch.RegionID { return p.pl.regions }
+
+// Violations checks the plan against the platform's live residual
+// capacity and attributes every conflict. The caller must hold the
+// footprint's region locks.
+func (p *Plan) Violations(plat *arch.Platform) []ValidationError {
+	return p.pl.violations(plat)
+}
+
+// Validate is Violations wrapped into the error Apply would return: nil,
+// or a *ConflictError naming the exhausted resources and their regions.
+func (p *Plan) Validate(plat *arch.Platform) error {
+	return p.pl.validate(plat)
+}
+
+// Commit reserves the plan on the platform and bumps the versions of the
+// footprint's regions plus the global version. The caller must hold the
+// footprint's region locks and have seen Validate succeed under them.
+func (p *Plan) Commit(plat *arch.Platform) {
+	p.pl.commit(plat, +1)
+}
+
+// Release subtracts the plan's reservations, undoing Commit. The caller
+// must hold the footprint's region locks.
+func (p *Plan) Release(plat *arch.Platform) {
+	p.pl.commit(plat, -1)
 }

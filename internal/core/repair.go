@@ -97,6 +97,23 @@ func (s *seedMapping) install(app *model.Application, work *arch.Platform, mp *M
 	return nil
 }
 
+// regionsDisjoint reports whether two ascending region lists share no
+// element.
+func regionsDisjoint(a, b []arch.RegionID) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return false
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return true
+}
+
 // tileBudget tracks the free capacity left on one conflicted tile while
 // salvage greedily decides which of its occupants to keep.
 type tileBudget struct {
@@ -280,14 +297,29 @@ func (m *Mapper) Repair(res *Result, snap *arch.Snapshot) (*Result, error) {
 		return nil, fmt.Errorf("core: nothing to repair")
 	}
 	app := res.Mapping.App
-	if len(res.BaseResidual.Tiles) > 0 && res.BaseResidual.Diff(snap.Plat.Residual()).Empty() {
-		// Resource-identical platform: the stale mapping still commits.
-		return res, nil
+	// One plan serves both the region shortcut and the conflict
+	// attribution below; planning errors only matter once the shortcuts
+	// have not already proven the stale mapping still commits.
+	plan, planErr := NewPlan(snap.Plat, res)
+	if len(res.BaseResidual.Tiles) > 0 {
+		diff := res.BaseResidual.Diff(snap.Plat.Residual())
+		if diff.Empty() {
+			// Resource-identical platform: the stale mapping still commits.
+			return res, nil
+		}
+		// Region-aware shortcut: when everything that changed lies in
+		// regions the mapping never touches, no resource of the mapping's
+		// reservation plan moved, so it still commits verbatim — no need
+		// to re-validate the full plan.
+		if planErr == nil && snap.Plat.RegionCount() > 1 &&
+			regionsDisjoint(diff.Regions(snap.Plat), plan.Regions()) {
+			return res, nil
+		}
 	}
-	violations, err := Conflicts(snap.Plat, res)
-	if err != nil {
-		return nil, err
+	if planErr != nil {
+		return nil, planErr
 	}
+	violations := plan.Violations(snap.Plat)
 	if len(violations) == 0 {
 		return res, nil
 	}

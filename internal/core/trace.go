@@ -28,6 +28,7 @@ type Step1Record struct {
 	Tile         string
 }
 
+// String renders the record as one line of the step-1 trace table.
 func (r Step1Record) String() string {
 	d := "forced"
 	if !math.IsInf(r.Desirability, 1) {
@@ -48,6 +49,7 @@ const (
 	Swap
 )
 
+// String names the move kind as it appears in the step-2 trace.
 func (k MoveKind) String() string {
 	switch k {
 	case Initial:
@@ -76,6 +78,7 @@ type Step2Record struct {
 	Remark     string
 }
 
+// String renders the record as one line of the step-2 (Table 2) trace.
 func (r Step2Record) String() string {
 	return fmt.Sprintf("iter %d: %-7s %-24s cost=%-6.1f %s",
 		r.Iteration, r.Kind, r.describeMove(), r.Cost, r.Remark)
@@ -101,6 +104,7 @@ type Step3Record struct {
 	Routers []arch.RouterID
 }
 
+// String renders the record as one line of the step-3 routing trace.
 func (r Step3Record) String() string {
 	return fmt.Sprintf("%-24s %8d B/s  %d hops via %v", r.Channel, r.Bps, r.Hops, r.Routers)
 }

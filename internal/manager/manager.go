@@ -8,14 +8,19 @@
 // it.
 //
 // Admission is a concurrent pipeline. The expensive part of an admission —
-// the four-step spatial mapping — runs outside the platform lock, against
+// the four-step spatial mapping — runs outside all platform locks, against
 // a point-in-time Snapshot of the platform's residual state, so many
-// arrivals can be mapped in parallel. Only the commit is serialized: it
-// re-validates the mapping against the live platform (core.Apply is
-// transactional) and, when a competing admission claimed the resources
-// since the snapshot was taken, re-snapshots and re-maps — optimistic
-// concurrency with bounded retries. Use Pipeline for a bounded work queue
-// feeding N admission workers.
+// arrivals can be mapped in parallel. Only the commit takes locks, and
+// only the locks of the mesh regions the mapping's reservation plan
+// touches (core.Plan.Regions, acquired in canonical order): it
+// re-validates the plan against the live platform and, when a competing
+// admission claimed the resources since the snapshot was taken,
+// re-snapshots and repairs or re-maps — optimistic concurrency with
+// bounded retries. On a partitioned platform (arch.PartitionRegions),
+// admissions whose plans land in disjoint regions therefore commit fully
+// in parallel; the unpartitioned single-region platform degenerates to
+// the classic one-global-lock commit. Use Pipeline for a bounded work
+// queue feeding N admission workers.
 package manager
 
 import (
@@ -48,6 +53,7 @@ type RejectionError struct {
 	Reason string
 }
 
+// Error renders the rejection with the application name and reason.
 func (e *RejectionError) Error() string {
 	return fmt.Sprintf("manager: %q rejected: %s", e.App, e.Reason)
 }
@@ -136,8 +142,21 @@ func (s Stats) RepairRate() (float64, bool) {
 
 // Manager owns a platform and the set of admitted applications. All
 // methods are safe for concurrent use.
+//
+// Two lock families guard the manager's state, never nested:
+//
+//   - locks, one mutex per mesh region, serialize the platform's
+//     reservation state. A commit or release holds exactly the regions
+//     its plan touches; whole-platform reads (Snapshot, Residual, Load,
+//     CheckInvariants) hold all of them.
+//   - mu serializes the admission bookkeeping: the running and pending
+//     sets, the sequence counter and the statistics.
 type Manager struct {
 	cfg core.Config
+
+	// locks shards the platform's reservation state by region; sized
+	// from the platform's partition at construction.
+	locks *arch.RegionLocks
 
 	mu         sync.Mutex
 	plat       *arch.Platform
@@ -152,11 +171,15 @@ type Manager struct {
 
 // New returns a manager over the given platform. The platform is owned by
 // the manager from here on: reservations of admitted applications live on
-// it, and all access to it is serialized behind the manager's lock.
+// it, and all access to it is serialized behind the manager's region
+// locks. Partition the platform (arch.PartitionRegions) before handing it
+// over — the lock set is sized from RegionCount here, and repartitioning
+// a managed platform would break the region↔lock correspondence.
 func New(plat *arch.Platform, cfg core.Config) *Manager {
 	return &Manager{
 		plat:       plat,
 		cfg:        cfg,
+		locks:      arch.NewRegionLocks(plat.RegionCount()),
 		running:    make(map[string]*Admission),
 		pending:    make(map[string]struct{}),
 		maxRetries: DefaultMaxRetries,
@@ -205,17 +228,19 @@ func (m *Manager) SetMappingReuse(on bool) {
 // Residual instead.
 func (m *Manager) Platform() *arch.Platform { return m.plat }
 
-// Snapshot returns a point-in-time deep copy of the managed platform.
+// Snapshot returns a point-in-time deep copy of the managed platform,
+// taken under all region locks so the copy is consistent across regions.
 func (m *Manager) Snapshot() *arch.Snapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.locks.LockAll()
+	defer m.locks.UnlockAll()
 	return m.plat.Snapshot()
 }
 
-// Residual returns the platform's current free-capacity view.
+// Residual returns the platform's current free-capacity view, read under
+// all region locks.
 func (m *Manager) Residual() arch.Residual {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.locks.LockAll()
+	defer m.locks.UnlockAll()
 	return m.plat.Residual()
 }
 
@@ -255,6 +280,24 @@ const (
 	triggerTemplate               // no pooled template placement fit the live platform
 )
 
+// footprintFresh reports whether no commit or release has touched any of
+// the footprint's regions since the snapshot was taken — the region-local
+// staleness probe. When it holds, the live reservation state inside the
+// footprint is identical to the snapshot the mapping was computed and
+// verified against, so the commit can skip re-validation. The caller must
+// hold the footprint's region locks.
+func footprintFresh(plat *arch.Platform, snap *arch.Snapshot, footprint []arch.RegionID) bool {
+	if len(snap.RegionVersions) != plat.RegionCount() {
+		return false // repartitioned platform: versions not comparable
+	}
+	for _, r := range footprint {
+		if plat.RegionVersion(r) != snap.RegionVersions[r] {
+			return false
+		}
+	}
+	return true
+}
+
 func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Duration) Outcome {
 	out := Outcome{App: app.Name, Wait: wait}
 
@@ -272,6 +315,7 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 	m.pending[app.Name] = struct{}{}
 	tc := m.templates
 	repairOn := m.repair
+	maxRetries := m.maxRetries
 	m.mu.Unlock()
 
 	mapper := &core.Mapper{Lib: lib, Cfg: m.cfg}
@@ -283,48 +327,63 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 	var snap *arch.Snapshot
 
 	// Fast path: structurally identical application admitted before —
-	// try committing its mapping directly. Validation against the live
-	// platform makes a stale template harmless: it can be refused, not
-	// applied wrongly.
+	// try committing its mapping directly. Each template's reservation
+	// plan is validated under just its own region locks, so template
+	// commits in disjoint regions proceed in parallel; validation against
+	// the live platform makes a stale template harmless — it can be
+	// refused, not applied wrongly.
 	var fp string
 	if tc != nil {
 		if f, err := Fingerprint(app, lib); err == nil {
 			fp = f
 			if pool := tc.get(fp); len(pool) > 0 {
 				commitStart := time.Now()
-				// Each failed Apply already computed the template's full
-				// violation list; remember the least-conflicted template
-				// as the cheapest one to repair instead of re-validating
-				// the pool afterwards.
+				// Each failed validation already computed the template's
+				// violation list; remember the least-conflicted template —
+				// fewest conflicted regions, then fewest violations — as
+				// the cheapest one to repair.
 				leastConflicted := pool[0]
-				leastViolations := -1
-				m.mu.Lock()
+				leastRegions, leastViolations := -1, -1
 				for _, tpl := range pool {
-					if err := core.Apply(m.plat, tpl); err != nil {
-						var conflict *core.ConflictError
-						if errors.As(err, &conflict) &&
-							(leastViolations < 0 || len(conflict.Violations) < leastViolations) {
-							leastConflicted, leastViolations = tpl, len(conflict.Violations)
-						}
+					plan, perr := core.NewPlan(m.plat, tpl)
+					if perr != nil {
 						continue
 					}
-					m.seq++
-					ad := &Admission{App: app, Result: tpl, Seq: m.seq}
-					m.running[app.Name] = ad
-					m.stats.TemplateHits++
-					out.Commit += time.Since(commitStart)
-					m.finishLocked(&out, ad, nil)
-					m.mu.Unlock()
-					return out
+					footprint := plan.Regions()
+					m.locks.Lock(footprint)
+					verr := plan.Validate(m.plat)
+					if verr == nil {
+						plan.Commit(m.plat)
+						m.locks.Unlock(footprint)
+						out.Commit += time.Since(commitStart)
+						m.mu.Lock()
+						m.seq++
+						ad := &Admission{App: app, Result: tpl, Seq: m.seq}
+						m.running[app.Name] = ad
+						m.stats.TemplateHits++
+						m.finishLocked(&out, ad, nil)
+						m.mu.Unlock()
+						return out
+					}
+					m.locks.Unlock(footprint)
+					var conflict *core.ConflictError
+					if errors.As(verr, &conflict) {
+						nr, nv := len(conflict.Regions), len(conflict.Violations)
+						if leastViolations < 0 || nr < leastRegions ||
+							(nr == leastRegions && nv < leastViolations) {
+							leastConflicted, leastRegions, leastViolations = tpl, nr, nv
+						}
+					}
 				}
 				// No remembered placement fits the current residual
 				// state. Instead of discarding the pool, repair a
 				// template against a fresh snapshot: the placements that
 				// still fit stay, only the conflicting processes are
 				// re-placed.
+				m.mu.Lock()
 				m.stats.StaleTemplates++
-				snap = m.plat.Snapshot()
 				m.mu.Unlock()
+				snap = m.Snapshot()
 				out.Commit += time.Since(commitStart)
 				trigger = triggerTemplate
 				if repairOn {
@@ -335,13 +394,11 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 	}
 
 	if snap == nil {
-		m.mu.Lock()
-		snap = m.plat.Snapshot()
-		m.mu.Unlock()
+		snap = m.Snapshot()
 	}
 
-	// Counters accumulated outside the lock, folded into Stats at the
-	// next commit section.
+	// Counters accumulated outside the locks, folded into Stats at the
+	// next bookkeeping section.
 	var repairAttempts, fullRemaps uint64
 	for {
 		out.Attempts++
@@ -385,23 +442,25 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 				m.stats.RepairedTemplates++
 			}
 		}
-		// The terminal branches below account the commit-section time
-		// into out.Commit *before* finishLocked folds it into Stats; the
-		// retry branches accumulate it after unlocking instead, and it
-		// reaches Stats with the eventual terminal attempt.
+		m.mu.Unlock()
+
 		switch {
 		case mapErr != nil:
 			// Structural errors (unknown tiles, no implementations) do
 			// not depend on residual state; no point retrying.
 			out.Commit += time.Since(commitStart)
+			m.mu.Lock()
 			m.finishLocked(&out, nil, &RejectionError{App: app.Name, Reason: mapErr.Error()})
+			m.mu.Unlock()
+			return out
 		case !res.Feasible:
 			// Infeasible against the snapshot. If the platform changed
 			// since — e.g. an application stopped and freed resources —
-			// the verdict may be stale; retry on fresh state.
-			if m.plat.Version() != snap.Version && out.Attempts <= m.maxRetries {
-				snap = m.plat.Snapshot()
-				m.mu.Unlock()
+			// the verdict may be stale; retry on fresh state. The global
+			// version counter is atomic, so the staleness probe needs no
+			// lock.
+			if m.plat.Version() != snap.Version && out.Attempts <= maxRetries {
+				snap = m.Snapshot()
 				out.Commit += time.Since(commitStart)
 				trigger = triggerNone
 				continue
@@ -411,47 +470,82 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 				reason = res.Trace.Notes[n-1]
 			}
 			out.Commit += time.Since(commitStart)
+			m.mu.Lock()
 			m.finishLocked(&out, nil, &RejectionError{App: app.Name, Reason: reason})
+			m.mu.Unlock()
+			return out
 		default:
-			err := core.Apply(m.plat, res)
+			// Sharded commit: aggregate the reservation plan without any
+			// lock, then validate and commit holding only the region
+			// locks of the plan's footprint. Admissions whose footprints
+			// are disjoint run this section concurrently.
+			plan, perr := core.NewPlan(m.plat, res)
+			if perr != nil {
+				out.Commit += time.Since(commitStart)
+				m.mu.Lock()
+				m.finishLocked(&out, nil, &RejectionError{App: app.Name, Reason: perr.Error()})
+				m.mu.Unlock()
+				return out
+			}
+			footprint := plan.Regions()
+			m.locks.Lock(footprint)
+			// Region-local staleness probe: if no commit has touched the
+			// footprint's regions since the snapshot, the live state there
+			// is exactly what the mapper already verified the mapping
+			// against, so the per-resource re-validation is redundant.
+			var err error
+			if !footprintFresh(m.plat, snap, footprint) {
+				err = plan.Validate(m.plat)
+			}
 			if err == nil {
+				plan.Commit(m.plat)
+				m.locks.Unlock(footprint)
+				out.Commit += time.Since(commitStart)
+				m.mu.Lock()
 				m.seq++
 				ad := &Admission{App: app, Result: res, Seq: m.seq}
 				m.running[app.Name] = ad
 				if repaired {
 					out.Repaired = true
 				}
-				out.Commit += time.Since(commitStart)
 				m.finishLocked(&out, ad, nil)
+				m.mu.Unlock()
 				if tc != nil && fp != "" {
 					tc.put(fp, res)
 				}
-				break
+				return out
 			}
+			m.locks.Unlock(footprint)
 			var conflict *core.ConflictError
-			if errors.As(err, &conflict) {
+			isConflict := errors.As(err, &conflict)
+			retry := isConflict && out.Attempts <= maxRetries
+			if isConflict {
+				m.mu.Lock()
 				m.stats.Conflicts++
-				if out.Attempts <= m.maxRetries {
-					// A competing admission won the resources between
-					// snapshot and commit: repair the mapping we just
-					// computed against fresh state (or re-map from
-					// scratch when repair is off).
+				if retry {
 					m.stats.ConflictRetries++
-					snap = m.plat.Snapshot()
-					m.mu.Unlock()
-					out.Commit += time.Since(commitStart)
-					trigger = triggerConflict
-					if repairOn {
-						repairFrom = res
-					}
-					continue
 				}
+				m.mu.Unlock()
+			}
+			if retry {
+				// A competing admission won the resources between
+				// snapshot and commit: repair the mapping we just
+				// computed against fresh state (or re-map from scratch
+				// when repair is off).
+				snap = m.Snapshot()
+				out.Commit += time.Since(commitStart)
+				trigger = triggerConflict
+				if repairOn {
+					repairFrom = res
+				}
+				continue
 			}
 			out.Commit += time.Since(commitStart)
+			m.mu.Lock()
 			m.finishLocked(&out, nil, &RejectionError{App: app.Name, Reason: err.Error()})
+			m.mu.Unlock()
+			return out
 		}
-		m.mu.Unlock()
-		return out
 	}
 }
 
@@ -475,19 +569,30 @@ func (m *Manager) finishLocked(out *Outcome, ad *Admission, err error) {
 	m.stats.Commit += out.Commit
 }
 
-// Stop releases the named application's resources.
+// Stop releases the named application's resources, holding only the
+// region locks its reservations touch, so departures in disjoint regions
+// proceed in parallel with each other and with commits.
 func (m *Manager) Stop(name string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if _, pend := m.pending[name]; pend {
+		m.mu.Unlock()
 		return fmt.Errorf("manager: application %q is still being admitted", name)
 	}
 	ad, ok := m.running[name]
 	if !ok {
+		m.mu.Unlock()
 		return fmt.Errorf("manager: application %q is not running", name)
 	}
-	core.Remove(m.plat, ad.Result)
 	delete(m.running, name)
+	m.mu.Unlock()
+	plan, err := core.NewRemovalPlan(m.plat, ad.Result)
+	if err != nil {
+		return nil // lenient planning never errors; keep the compiler honest
+	}
+	footprint := plan.Regions()
+	m.locks.Lock(footprint)
+	plan.Release(m.plat)
+	m.locks.Unlock(footprint)
 	return nil
 }
 
@@ -527,10 +632,10 @@ type Load struct {
 	LinkReserved float64 // fraction of aggregate link capacity
 }
 
-// Load computes the current occupancy summary.
+// Load computes the current occupancy summary under all region locks.
 func (m *Manager) Load() Load {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.locks.LockAll()
+	defer m.locks.UnlockAll()
 	var l Load
 	var utilSum float64
 	for _, t := range m.plat.Tiles {
@@ -561,8 +666,8 @@ func (m *Manager) Load() Load {
 // tile or link over-committed, nothing negative. The stress tests call it
 // while admissions are in flight.
 func (m *Manager) CheckInvariants() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.locks.LockAll()
+	defer m.locks.UnlockAll()
 	const eps = 1e-9
 	for _, t := range m.plat.Tiles {
 		if t.ReservedMem < 0 || t.ReservedMem > t.MemBytes {

@@ -1,0 +1,110 @@
+package manager
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"rtsm/internal/core"
+	"rtsm/internal/workload"
+)
+
+// TestShardedCommitStraddlingRegions hammers a 4-region platform with
+// admissions whose stream endpoints deliberately straddle region
+// boundaries (src in one quadrant, sink in another), interleaved with
+// region-local ones, while departures run concurrently. Straddling plans
+// take multiple region locks; the canonical acquisition order must keep
+// this deadlock-free, and under -race the reservation ledger must stay
+// data-race-free and invariant-clean throughout.
+func TestShardedCommitStraddlingRegions(t *testing.T) {
+	plat := workload.SyntheticRegionPlatform(8, 8, 123, 4)
+	m := New(plat, core.Config{})
+	m.SetMappingReuse(true)
+	pristine := m.Residual()
+
+	// Endpoint pairs: four region-local, plus straddlers crossing every
+	// quadrant boundary and both diagonals.
+	pairs := [][2]string{
+		{"SRC0", "SINK0"}, {"SRC1", "SINK1"}, {"SRC2", "SINK2"}, {"SRC3", "SINK3"},
+		{"SRC0", "SINK1"}, {"SRC1", "SINK3"}, {"SRC2", "SINK0"}, {"SRC3", "SINK2"},
+		{"SRC0", "SINK3"}, {"SRC1", "SINK2"},
+	}
+	const workers = 4
+	const perWorker = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				n := w*perWorker + i
+				pair := pairs[n%len(pairs)]
+				app, lib := workload.Synthetic(workload.SynthOptions{
+					Shape: workload.ShapeChain, Processes: 3 + n%3, Seed: int64(n % 7),
+					MaxUtil: 0.10, PeriodNs: 40_000,
+					SrcTile: pair[0], SinkTile: pair[1],
+				})
+				app.Name = fmt.Sprintf("straddle-%d", n)
+				out := m.Admit(app, lib)
+				if out.Admitted {
+					if err := m.Stop(app.Name); err != nil {
+						errs <- fmt.Errorf("stop %s: %w", app.Name, err)
+						return
+					}
+				}
+				if n%10 == 0 {
+					if err := m.CheckInvariants(); err != nil {
+						errs <- fmt.Errorf("invariants mid-run: %w", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Admitted == 0 {
+		t.Fatal("nothing admitted; straddle workload broken")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after churn: %v", err)
+	}
+	if final := m.Residual(); !final.Equal(pristine) {
+		d := pristine.Diff(final)
+		t.Fatalf("ledger not pristine after full churn: %d tiles, %d links drifted",
+			len(d.Tiles), len(d.Links))
+	}
+	t.Logf("straddle churn: %d admitted, %d rejected, %d conflicts, %d template hits",
+		st.Admitted, st.Rejected, st.Conflicts, st.TemplateHits)
+}
+
+// TestShardedDegenerateSingleRegion pins the degenerate case the rest of
+// the suite relies on: a manager over an unpartitioned platform behaves
+// exactly like the pre-sharding global-lock manager — one region, one
+// lock, identical admission outcomes for a deterministic sequence.
+func TestShardedDegenerateSingleRegion(t *testing.T) {
+	plat := workload.SyntheticPlatform(6, 6, 42)
+	if got := plat.RegionCount(); got != 1 {
+		t.Fatalf("unpartitioned platform has %d regions, want 1", got)
+	}
+	m := New(plat, core.Config{})
+	for i := 0; i < 6; i++ {
+		app, lib := workload.Synthetic(workload.SynthOptions{
+			Shape: workload.ShapeChain, Processes: 3, Seed: int64(i),
+			MaxUtil: 0.10, PeriodNs: 40_000,
+		})
+		app.Name = fmt.Sprintf("single-%d", i)
+		out := m.Admit(app, lib)
+		if out.Err != nil && out.Admitted {
+			t.Fatalf("inconsistent outcome for %s", app.Name)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

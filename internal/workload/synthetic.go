@@ -38,6 +38,13 @@ type SynthOptions struct {
 	// 200 MHz tile (0 = 0.35), keeping instances feasible by
 	// construction.
 	MaxUtil float64
+	// SrcTile and SinkTile name the tiles the application's stream
+	// endpoints are pinned to (empty = "SRC0" / "SINK0", the endpoints
+	// SyntheticPlatform provides). Region-sharded scenarios pin arrivals
+	// to the per-region endpoints of SyntheticRegionPlatform instead, so
+	// admissions land in disjoint mesh regions.
+	SrcTile  string
+	SinkTile string
 }
 
 // synthTypes is the tile-type pool synthetic implementations draw from.
@@ -59,12 +66,18 @@ func Synthetic(opts SynthOptions) (*model.Application, *model.Library) {
 	if opts.Shape == "" {
 		opts.Shape = ShapeChain
 	}
+	if opts.SrcTile == "" {
+		opts.SrcTile = "SRC0"
+	}
+	if opts.SinkTile == "" {
+		opts.SinkTile = "SINK0"
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	app := model.NewApplication(
 		fmt.Sprintf("synthetic-%s-%d-seed%d", opts.Shape, opts.Processes, opts.Seed),
 		model.QoS{PeriodNs: opts.PeriodNs})
-	src := app.AddPinnedProcess("src", "SRC0")
-	sink := app.AddPinnedProcess("sink", "SINK0")
+	src := app.AddPinnedProcess("src", opts.SrcTile)
+	sink := app.AddPinnedProcess("sink", opts.SinkTile)
 	procs := make([]*model.Process, opts.Processes)
 	for i := range procs {
 		procs[i] = app.AddProcess(fmt.Sprintf("p%d", i))
@@ -242,6 +255,49 @@ func addSyntheticImpls(lib *model.Library, app *model.Application, p *model.Proc
 // the pinned stream endpoints SRC0 (bottom-left router) and SINK0
 // (top-right router). Montium tiles hold one kernel at a time.
 func SyntheticPlatform(w, h int, seed int64) *arch.Platform {
+	p := SyntheticPlatformWithoutEndpoints(w, h, seed)
+	p.AttachTile(arch.TileSpec{
+		Name: "SRC0", Type: arch.TypeSource, At: arch.Pt(0, h-1),
+		ClockHz: 200_000_000, MemBytes: 64 << 10, NICapBps: 800_000_000,
+	})
+	p.AttachTile(arch.TileSpec{
+		Name: "SINK0", Type: arch.TypeSink, At: arch.Pt(w-1, 0),
+		ClockHz: 200_000_000, MemBytes: 64 << 10, NICapBps: 800_000_000,
+	})
+	return p
+}
+
+// SyntheticRegionPlatform builds the same mesh as SyntheticPlatform but
+// partitioned into square regions of the given side length, with one
+// stream-source and one stream-sink tile per region: "SRC<r>" at the
+// region's bottom-left router and "SINK<r>" at its top-right. An
+// application pinned to region r's endpoints (SynthOptions.SrcTile /
+// SinkTile) keeps its whole reservation footprint inside that region —
+// minimal routes between two routers of a rectangle stay inside it — so
+// arrivals pinned to different regions commit against disjoint region
+// locks. regionSize ≤ 0 or covering the whole mesh yields the
+// single-region platform (endpoints then match SyntheticPlatform's
+// SRC0/SINK0 placement).
+func SyntheticRegionPlatform(w, h int, seed int64, regionSize int) *arch.Platform {
+	p := SyntheticPlatformWithoutEndpoints(w, h, seed)
+	p.PartitionRegions(regionSize)
+	for _, reg := range p.Regions() {
+		p.AttachTile(arch.TileSpec{
+			Name: fmt.Sprintf("SRC%d", reg.ID), Type: arch.TypeSource, At: arch.Pt(reg.X0, reg.Y1),
+			ClockHz: 200_000_000, MemBytes: 64 << 10, NICapBps: 800_000_000,
+		})
+		p.AttachTile(arch.TileSpec{
+			Name: fmt.Sprintf("SINK%d", reg.ID), Type: arch.TypeSink, At: arch.Pt(reg.X1, reg.Y0),
+			ClockHz: 200_000_000, MemBytes: 64 << 10, NICapBps: 800_000_000,
+		})
+	}
+	return p
+}
+
+// SyntheticPlatformWithoutEndpoints is SyntheticPlatform minus the
+// SRC0/SINK0 tiles, for callers that attach their own stream endpoints.
+// The processing-tile layout is identical for identical seeds.
+func SyntheticPlatformWithoutEndpoints(w, h int, seed int64) *arch.Platform {
 	rng := rand.New(rand.NewSource(seed))
 	p := arch.NewMesh(fmt.Sprintf("synthetic-%dx%d-seed%d", w, h, seed), w, h, 800_000_000)
 	i := 0
@@ -268,13 +324,5 @@ func SyntheticPlatform(w, h int, seed int64) *arch.Platform {
 			i++
 		}
 	}
-	p.AttachTile(arch.TileSpec{
-		Name: "SRC0", Type: arch.TypeSource, At: arch.Pt(0, h-1),
-		ClockHz: 200_000_000, MemBytes: 64 << 10, NICapBps: 800_000_000,
-	})
-	p.AttachTile(arch.TileSpec{
-		Name: "SINK0", Type: arch.TypeSink, At: arch.Pt(w-1, 0),
-		ClockHz: 200_000_000, MemBytes: 64 << 10, NICapBps: 800_000_000,
-	})
 	return p
 }

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Extract fenced ```go blocks from markdown files into build-tagged Go
+# files under docbuild/ and compile them, so the code in the docs cannot
+# rot: an identifier renamed in the source breaks the docs build.
+#
+# Every fenced go block must be a complete file starting with a package
+# clause (the docs use `package docsnippets`); each block is written to
+# its own package directory so blocks never collide.
+#
+# Usage: scripts/extract_docsnippets.sh docs/ARCHITECTURE.md README.md
+set -euo pipefail
+
+out=docbuild
+rm -rf "$out"
+n=0
+for md in "$@"; do
+  [[ -f $md ]] || { echo "extract_docsnippets: no such file: $md" >&2; exit 1; }
+  in=0
+  block=""
+  lineno=0
+  start=0
+  while IFS= read -r line || [[ -n $line ]]; do
+    lineno=$((lineno + 1))
+    if [[ $in == 0 && $line == '```go' ]]; then
+      in=1
+      start=$((lineno + 1))
+      block=""
+      continue
+    fi
+    if [[ $in == 1 && $line == '```' ]]; then
+      in=0
+      n=$((n + 1))
+      if [[ $block != package* ]]; then
+        echo "extract_docsnippets: $md:$start: go block must start with a package clause" >&2
+        exit 1
+      fi
+      dir=$(printf '%s/snippet_%02d' "$out" "$n")
+      mkdir -p "$dir"
+      {
+        echo '//go:build docsnippets'
+        echo
+        printf '%s' "$block"
+      } >"$dir/snippet.go"
+      continue
+    fi
+    if [[ $in == 1 ]]; then
+      block+="$line"$'\n'
+    fi
+  done <"$md"
+  if [[ $in == 1 ]]; then
+    echo "extract_docsnippets: $md: unterminated go block" >&2
+    exit 1
+  fi
+done
+
+if [[ $n == 0 ]]; then
+  echo "extract_docsnippets: no fenced go blocks found in: $*" >&2
+  exit 1
+fi
+
+go build -tags docsnippets "./$out/..."
+echo "extract_docsnippets: built $n doc snippet(s) from: $*"
+rm -rf "$out"
