@@ -14,6 +14,8 @@
 //	go run ./cmd/churn -compare              # sequential vs pipeline
 //	go run ./cmd/churn -repair=false         # full remap on every retry
 //	go run ./cmd/churn -regionsize 4         # region-sharded commit path
+//	go run ./cmd/churn -priomix 70:20:10     # mixed admission classes, preemption on
+//	go run ./cmd/churn -priomix 70:20:10 -preempt=false  # priority queue only
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 
 	"rtsm/internal/churn"
 	"rtsm/internal/manager"
+	"rtsm/internal/model"
 )
 
 var (
@@ -40,6 +43,8 @@ var (
 	globalOne = flag.Bool("globallock", false, "keep -regionsize's workload but commit through one global lock (sharding ablation)")
 	reuse     = flag.Bool("reuse", true, "reuse mapping templates for recurring structures")
 	repair    = flag.Bool("repair", true, "repair stale mappings instead of re-mapping from scratch")
+	priomix   = flag.String("priomix", "", "mixed admission classes as bestEffort:standard:critical weights, e.g. 70:20:10 (empty = all best-effort)")
+	preempt   = flag.Bool("preempt", true, "let full-mesh priority arrivals preempt lower classes (relocation before eviction)")
 	retries   = flag.Int("retries", manager.DefaultMaxRetries, "max re-mapping rounds per arrival")
 	compare   = flag.Bool("compare", false, "also run the sequential path and report the speedup")
 )
@@ -59,6 +64,8 @@ func options() churn.Options {
 		GlobalLock: *globalOne,
 		Reuse:      *reuse,
 		Repair:     *repair,
+		PrioMix:    *priomix,
+		Preempt:    *preempt,
 		Retries:    *retries,
 		ErrWriter:  os.Stderr,
 	}
@@ -81,6 +88,19 @@ func report(label string, r churn.Result) {
 	if rate, ok := st.RepairRate(); ok {
 		fmt.Printf("  repair rate       %.1f%%\n", 100*rate)
 	}
+	for c := 0; c < model.NumPriorities; c++ {
+		cls := st.ByClass[c]
+		if cls.Admitted+cls.Rejected == 0 {
+			continue
+		}
+		rate, _ := st.AdmissionRate(model.Priority(c))
+		fmt.Printf("  class %-11s %d arrivals, %.1f%% admitted\n",
+			model.Priority(c), cls.Admitted+cls.Rejected, 100*rate)
+	}
+	if st.Preemptions > 0 {
+		fmt.Printf("  preemption        %d victims displaced (%d relocated, %d evicted)\n",
+			st.Preemptions, st.Relocations, st.Evictions)
+	}
 	if total > 0 {
 		fmt.Printf("  mean latencies    wait %v, map %v, repair %v, commit %v\n",
 			(st.Wait / time.Duration(total)).Round(time.Microsecond),
@@ -101,6 +121,10 @@ func report(label string, r churn.Result) {
 func main() {
 	flag.Parse()
 	opts := options()
+	if _, err := churn.ParsePrioMix(opts.PrioMix); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if opts.Resident <= 0 {
 		// Resolve the default here so the -compare run keeps the same
 		// resident population as the pipeline run.
@@ -110,6 +134,10 @@ func main() {
 	fmt.Printf("churn: %d arrivals from a %d-structure catalogue onto a %d×%d mesh\n\n",
 		opts.Apps, opts.Catalogue, opts.Mesh, opts.Mesh)
 	pipe := churn.Run(opts)
+	if pipe.ConfigErr != nil {
+		fmt.Fprintln(os.Stderr, pipe.ConfigErr)
+		os.Exit(2)
+	}
 	report(fmt.Sprintf("pipeline (%d workers, reuse %v, repair %v)", opts.Workers, opts.Reuse, opts.Repair), pipe)
 	ok := pipe.Clean && pipe.LedgerErr == nil
 

@@ -1,0 +1,105 @@
+package arch
+
+import (
+	"testing"
+)
+
+// FuzzPartitionRegions drives the partition geometry with arbitrary mesh
+// dimensions and region sizes and checks the invariants the sharded
+// commit path is built on:
+//
+//   - the regions tile the mesh: every router lies in exactly one
+//     region's rectangle, and that region is RegionOfPoint's answer;
+//   - every link has exactly one owning region, the region of its source
+//     router, and that region is within range;
+//   - region versions are independent: bumping one region's version
+//     leaves every other region's version (and nothing else) unchanged.
+//
+// The mapper, plan footprints and per-region locks all assume these
+// properties; a counterexample here would mean two commits could both
+// "own" a resource or a staleness probe could miss a change.
+func FuzzPartitionRegions(f *testing.F) {
+	f.Add(8, 8, 4)
+	f.Add(1, 1, 1)
+	f.Add(8, 8, 0)   // unpartitioned degenerate case
+	f.Add(5, 3, 2)   // clipped right/bottom blocks
+	f.Add(6, 6, 9)   // one block covering the whole mesh
+	f.Add(12, 2, 5)  // wide and flat
+	f.Add(2, 12, -3) // negative size = unpartitioned
+	f.Fuzz(func(t *testing.T, w, h, size int) {
+		// Clamp to meshes small enough to scan exhaustively; the
+		// geometry code has no behaviour that only appears at scale.
+		w = 1 + abs(w)%12 // abs is the arch package's own helper
+		h = 1 + abs(h)%12
+		if size > 16 {
+			size %= 17
+		}
+		p := NewMesh("fuzz", w, h, 1_000_000)
+		n := p.PartitionRegions(size)
+		if n != p.RegionCount() {
+			t.Fatalf("PartitionRegions returned %d, RegionCount says %d", n, p.RegionCount())
+		}
+		if n < 1 {
+			t.Fatalf("region count %d < 1", n)
+		}
+		regions := p.Regions()
+		if len(regions) != n {
+			t.Fatalf("Regions() has %d entries, want %d", len(regions), n)
+		}
+
+		// Disjoint and covering: every router lies in exactly one
+		// region's rectangle, which is the region the platform reports.
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				pt := Pt(x, y)
+				owner := p.RegionOfPoint(pt)
+				if owner < 0 || int(owner) >= n {
+					t.Fatalf("router %v owned by out-of-range region %d (have %d)", pt, owner, n)
+				}
+				containers := 0
+				for _, r := range regions {
+					if r.Contains(pt) {
+						containers++
+						if r.ID != owner {
+							t.Fatalf("router %v contained by region %d but owned by %d", pt, r.ID, owner)
+						}
+					}
+				}
+				if containers != 1 {
+					t.Fatalf("router %v contained by %d regions, want exactly 1", pt, containers)
+				}
+			}
+		}
+
+		// Every link's owner is its source router's region, in range.
+		for _, l := range p.Links {
+			owner := p.RegionOfLink(l.ID)
+			if owner < 0 || int(owner) >= n {
+				t.Fatalf("link %d owned by out-of-range region %d", l.ID, owner)
+			}
+			if want := p.RegionOfRouter(l.From); owner != want {
+				t.Fatalf("link %d owned by region %d, want source router's region %d", l.ID, owner, want)
+			}
+		}
+
+		// Version independence: bumping region r changes r's version by
+		// one and nothing else.
+		for r := 0; r < n; r++ {
+			before := make([]uint64, n)
+			for i := 0; i < n; i++ {
+				before[i] = p.RegionVersion(RegionID(i))
+			}
+			p.BumpRegion(RegionID(r))
+			for i := 0; i < n; i++ {
+				got := p.RegionVersion(RegionID(i))
+				want := before[i]
+				if i == r {
+					want++
+				}
+				if got != want {
+					t.Fatalf("after BumpRegion(%d): region %d version %d, want %d", r, i, got, want)
+				}
+			}
+		}
+	})
+}

@@ -8,8 +8,11 @@
 package churn
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 	"time"
 
 	"rtsm/internal/arch"
@@ -59,6 +62,18 @@ type Options struct {
 	Reuse   bool
 	Repair  bool
 	Retries int
+	// PrioMix assigns admission classes to arrivals as
+	// "bestEffort:standard:critical" integer weights, e.g. "70:20:10".
+	// Arrival i's class is drawn deterministically from the weights by
+	// arrival index, so identical options produce the identical
+	// priority-tagged stream. Empty keeps every arrival BestEffort (the
+	// pre-priority behaviour).
+	PrioMix string
+	// Preempt enables the manager's preemption planner: full-mesh
+	// arrivals above BestEffort displace lower-class residents,
+	// relocating them when possible. Only meaningful with a PrioMix that
+	// produces more than one class.
+	Preempt bool
 	// ErrWriter receives stop errors during the run; nil discards them.
 	ErrWriter io.Writer
 }
@@ -75,6 +90,7 @@ func Defaults() Options {
 		PeriodNs:  40_000,
 		Reuse:     true,
 		Repair:    true,
+		Preempt:   true,
 		Retries:   manager.DefaultMaxRetries,
 	}
 }
@@ -95,14 +111,74 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// ParsePrioMix parses "bestEffort:standard:critical" integer weights
+// (e.g. "70:20:10"; missing trailing fields default to 0). An empty
+// string is the all-BestEffort mix.
+func ParsePrioMix(s string) ([model.NumPriorities]int, error) {
+	var w [model.NumPriorities]int
+	if s == "" {
+		w[model.BestEffort] = 1
+		return w, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) > model.NumPriorities {
+		return w, fmt.Errorf("churn: priority mix %q has %d fields, max %d", s, len(parts), model.NumPriorities)
+	}
+	total := 0
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return w, fmt.Errorf("churn: priority mix %q: field %d is not a non-negative integer", s, i)
+		}
+		w[i] = n
+		total += n
+	}
+	if total == 0 {
+		return w, fmt.Errorf("churn: priority mix %q has zero total weight", s)
+	}
+	return w, nil
+}
+
+// classOf deterministically assigns arrival i a class by spreading the
+// weights over a repeating cycle of weight-sum slots.
+func classOf(i int, w [model.NumPriorities]int) model.Priority {
+	total := 0
+	for _, n := range w {
+		total += n
+	}
+	slot := i % total
+	for c, n := range w {
+		if slot < n {
+			return model.Priority(c)
+		}
+		slot -= n
+	}
+	return model.BestEffort
+}
+
 // Arrival builds the i-th arrival of the scenario: application structures
-// rotate through the catalogue, names stay unique. endpointRegions is the
-// number of per-region stream-endpoint pairs the scenario's platform
-// carries (its RegionCount as laid out by SyntheticRegionPlatform, before
-// any GlobalLock departition); with more than one, arrivals are pinned
+// rotate through the catalogue, names stay unique, and with a PrioMix
+// the admission class rotates through the configured weights (the name
+// carries the class for debuggability). endpointRegions is the number of
+// per-region stream-endpoint pairs the scenario's platform carries (its
+// RegionCount as laid out by SyntheticRegionPlatform, before any
+// GlobalLock departition); with more than one, arrivals are pinned
 // round-robin to SRC<r>/SINK<r>, so consecutive arrivals land in
 // different regions.
 func (o Options) Arrival(i, endpointRegions int) (*model.Application, *model.Library) {
+	w, err := ParsePrioMix(o.PrioMix)
+	if err != nil {
+		// Fall back to the all-BestEffort mix; Run rejects the invalid
+		// string up front (Result.ConfigErr), so this is only reachable
+		// by calling Arrival directly.
+		w, _ = ParsePrioMix("")
+	}
+	return o.arrival(i, endpointRegions, w)
+}
+
+// arrival is Arrival with the priority weights already parsed, so the
+// scenario loop parses the mix once per run instead of once per arrival.
+func (o Options) arrival(i, endpointRegions int, w [model.NumPriorities]int) (*model.Application, *model.Library) {
 	s := i % o.Catalogue
 	opts := workload.SynthOptions{
 		Shape:     workload.ShapeChain,
@@ -116,8 +192,13 @@ func (o Options) Arrival(i, endpointRegions int) (*model.Application, *model.Lib
 		opts.SrcTile = fmt.Sprintf("SRC%d", r)
 		opts.SinkTile = fmt.Sprintf("SINK%d", r)
 	}
+	name := fmt.Sprintf("app-%d", i)
+	if o.PrioMix != "" {
+		opts.Priority = classOf(i, w)
+		name = fmt.Sprintf("app-%d-%s", i, opts.Priority)
+	}
 	app, lib := workload.Synthetic(opts)
-	app.Name = fmt.Sprintf("app-%d", i)
+	app.Name = name
 	return app, lib
 }
 
@@ -134,6 +215,9 @@ type Result struct {
 	Drift arch.ResidualDiff
 	// LedgerErr is non-nil when CheckInvariants failed during teardown.
 	LedgerErr error
+	// ConfigErr is non-nil when the options were unusable (e.g. an
+	// invalid PrioMix); nothing ran in that case.
+	ConfigErr error
 }
 
 // AdmissionsPerSec is the run's admission throughput.
@@ -149,6 +233,10 @@ func (r Result) AdmissionsPerSec() float64 {
 // everything and checks the ledger.
 func Run(o Options) Result {
 	o = o.withDefaults()
+	weights, werr := ParsePrioMix(o.PrioMix)
+	if werr != nil {
+		return Result{ConfigErr: werr}
+	}
 	var plat *arch.Platform
 	endpointRegions := 1
 	if o.RegionSize > 0 {
@@ -167,6 +255,7 @@ func Run(o Options) Result {
 	m := manager.New(plat, core.Config{})
 	m.SetMappingReuse(o.Reuse)
 	m.SetRepair(o.Repair)
+	m.SetPreemption(o.Preempt)
 	m.SetMaxRetries(o.Retries)
 	pipe := manager.NewPipeline(m, o.Workers, o.Queue)
 
@@ -181,6 +270,21 @@ func Run(o Options) Result {
 	go func() {
 		defer close(collectorDone)
 		var residents []string
+		// stop departs one resident. A victim mid-relocation cannot be
+		// stopped yet — requeue it so it departs (or turns out evicted)
+		// on a later attempt instead of leaking as an immortal resident.
+		stop := func(name string) {
+			err := m.Stop(name)
+			switch {
+			case err == nil:
+			case errors.Is(err, manager.ErrRelocating):
+				residents = append(residents, name)
+			default:
+				// Typically "not running": the resident was preempted
+				// and evicted; its reservations are already released.
+				stopErr(name, err)
+			}
+		}
 		for ch := range pending {
 			out := <-ch
 			if !out.Admitted {
@@ -190,19 +294,17 @@ func Run(o Options) Result {
 			if len(residents) > o.Resident {
 				oldest := residents[0]
 				residents = residents[1:]
-				if err := m.Stop(oldest); err != nil {
-					stopErr(oldest, err)
-				}
+				stop(oldest)
 			}
 		}
-		for _, name := range residents {
-			if err := m.Stop(name); err != nil {
-				stopErr(name, err)
-			}
+		for len(residents) > 0 {
+			name := residents[0]
+			residents = residents[1:]
+			stop(name)
 		}
 	}()
 	for i := 0; i < o.Apps; i++ {
-		ch, err := pipe.Submit(o.Arrival(i, endpointRegions))
+		ch, err := pipe.Submit(o.arrival(i, endpointRegions, weights))
 		if err != nil {
 			stopErr(fmt.Sprintf("submit app-%d", i), err)
 			break

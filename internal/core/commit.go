@@ -421,6 +421,15 @@ func (p *Plan) App() string { return p.pl.app.Name }
 // The returned slice is owned by the plan; do not modify it.
 func (p *Plan) Regions() []arch.RegionID { return p.pl.regions }
 
+// Overlaps reports whether the plan's footprint shares at least one
+// region with the given ascending region list. The preemption planner
+// uses it to select victims whose reservations actually sit where a
+// failing admission ran out of resources (ConflictError.Regions). An
+// empty argument overlaps nothing.
+func (p *Plan) Overlaps(regions []arch.RegionID) bool {
+	return !regionsDisjoint(p.pl.regions, regions)
+}
+
 // Violations checks the plan against the platform's live residual
 // capacity and attributes every conflict. The caller must hold the
 // footprint's region locks.

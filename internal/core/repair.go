@@ -375,3 +375,36 @@ func (m *Mapper) Repair(res *Result, snap *arch.Snapshot) (*Result, error) {
 	last.BaseResidual = snap.Plat.Residual()
 	return last, nil
 }
+
+// HypotheticalEviction releases the victims' reservations on a snapshot's
+// working platform, producing the post-eviction residual a preemption
+// planner speculatively maps a high-priority arrival against. Only the
+// snapshot's deep copy is mutated — the live platform is untouched and no
+// lock is needed — so the caller can probe "would the arrival fit if these
+// victims left?" as cheaply as any other speculative mapping.
+func HypotheticalEviction(snap *arch.Snapshot, victims ...*Result) {
+	for _, v := range victims {
+		Remove(snap.Plat, v)
+	}
+}
+
+// Relocate is the preemption planner's relocation entry point: it refits a
+// preempted victim's mapping to the post-eviction snapshot — the platform
+// after the victim's own reservations were released and the high-priority
+// arrival committed — so the victim keeps running on whatever capacity is
+// left instead of being killed. Unlike the admission path's use of Repair,
+// Relocate never falls back to a full remap: a victim either moves cheaply
+// (most placements kept, only the overlap with the new arrival re-placed)
+// or is evicted by the caller. Both a repair error and an infeasible
+// refit therefore surface as a non-nil error meaning "evict".
+func (m *Mapper) Relocate(res *Result, snap *arch.Snapshot) (*Result, error) {
+	rep, err := m.Repair(res, snap)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Feasible {
+		return nil, fmt.Errorf("core: relocation of %q infeasible on the post-eviction residual",
+			res.Mapping.App.Name)
+	}
+	return rep, nil
+}

@@ -45,6 +45,15 @@ type Admission struct {
 	Result *core.Result
 	// Seq is the admission order, for deterministic reporting.
 	Seq int
+	// Priority is the admission's QoS class, fixed at admission time from
+	// the application's spec. It decides who may preempt whom: a full-mesh
+	// arrival of a higher class may displace this admission.
+	Priority model.Priority
+
+	// lib is the implementation library the application was admitted
+	// with, kept so a preempted admission can be relocated (re-placed)
+	// without the original caller's involvement.
+	lib *model.Library
 }
 
 // RejectionError reports why an application was not admitted.
@@ -81,6 +90,14 @@ type Outcome struct {
 	// Repaired is true when the committed mapping came from core.Repair
 	// rather than a full four-step map.
 	Repaired bool
+	// Priority is the admission's QoS class (from the application's spec,
+	// clamped to the valid range).
+	Priority model.Priority
+	// Preempted lists the names of lower-priority victims this admission
+	// displaced to get in — each was relocated when possible and evicted
+	// otherwise (see Stats.Relocations/Evictions for the split). Empty
+	// for ordinary admissions.
+	Preempted []string
 	// Admission is the resulting reservation record, nil unless admitted.
 	Admission *Admission
 	// Err is nil when admitted and a *RejectionError (or duplicate-name
@@ -121,12 +138,49 @@ type Stats struct {
 	// back to the full four-step map (repair disabled, refused or
 	// infeasible).
 	FullRemaps uint64
+	// Preemptions counts lower-priority victims displaced so a
+	// higher-priority arrival could be admitted on a full mesh. Every
+	// preempted victim ends up in exactly one of Relocations (kept
+	// running on a repaired placement, the preferred outcome) or
+	// Evictions (released for good because no relocation fit).
+	Preemptions uint64
+	// Relocations counts preempted victims kept running: their stale
+	// mapping was refit via core.Relocate against the post-eviction
+	// residual and recommitted.
+	Relocations uint64
+	// Evictions counts preempted victims that could not be relocated and
+	// lost their reservations.
+	Evictions uint64
+	// ByClass splits admitted/rejected per priority class, indexed by
+	// model.Priority.
+	ByClass [model.NumPriorities]ClassStats
 	// Wait, Map, Repair and Commit accumulate the respective Outcome
 	// durations.
 	Wait   time.Duration
 	Map    time.Duration
 	Repair time.Duration
 	Commit time.Duration
+}
+
+// ClassStats is the per-priority-class share of the admission counters.
+type ClassStats struct {
+	Admitted uint64
+	Rejected uint64
+	// Latency accumulates the class's end-to-end admission latency
+	// (queue wait + mapping + repair + commit) over all its arrivals,
+	// admitted and rejected; divide by their count for the mean.
+	Latency time.Duration
+}
+
+// AdmissionRate reports the fraction of the class's arrivals that were
+// admitted; the second value is false when the class saw no arrivals.
+func (s Stats) AdmissionRate(p model.Priority) (float64, bool) {
+	c := s.ByClass[clampPriority(p)]
+	total := c.Admitted + c.Rejected
+	if total == 0 {
+		return 0, false
+	}
+	return float64(c.Admitted) / float64(total), true
 }
 
 // RepairRate reports the fraction of retry-or-stale rounds resolved by
@@ -158,15 +212,21 @@ type Manager struct {
 	// from the platform's partition at construction.
 	locks *arch.RegionLocks
 
-	mu         sync.Mutex
-	plat       *arch.Platform
-	running    map[string]*Admission
-	pending    map[string]struct{}
+	mu      sync.Mutex
+	plat    *arch.Platform
+	running map[string]*Admission
+	pending map[string]struct{}
+	// preempting holds admissions claimed by the preemption planner:
+	// still reserving resources (until their union-locked release) or
+	// mid-relocation, but no longer stoppable — Stop returns
+	// ErrRelocating until the victim returns to running or is evicted.
+	preempting map[string]*Admission
 	seq        int
 	stats      Stats
 	maxRetries int
 	templates  *templateCache // nil = mapping reuse disabled
 	repair     bool           // repair stale mappings instead of re-mapping
+	preemption bool           // displace lower classes for full-mesh arrivals
 }
 
 // New returns a manager over the given platform. The platform is owned by
@@ -182,9 +242,23 @@ func New(plat *arch.Platform, cfg core.Config) *Manager {
 		locks:      arch.NewRegionLocks(plat.RegionCount()),
 		running:    make(map[string]*Admission),
 		pending:    make(map[string]struct{}),
+		preempting: make(map[string]*Admission),
 		maxRetries: DefaultMaxRetries,
 		repair:     true,
+		preemption: true,
 	}
+}
+
+// SetPreemption enables or disables the preemption planner. When on (the
+// default), an arrival of priority above BestEffort that would be
+// rejected for lack of resources may displace minimal-cost lower-priority
+// admissions: each victim is relocated via core.Relocate when the
+// post-eviction residual allows it and evicted otherwise. When off, every
+// class competes for free capacity only — the pre-priority behaviour.
+func (m *Manager) SetPreemption(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.preemption = on
 }
 
 // SetRepair enables or disables the incremental remapping engine. When on
@@ -265,7 +339,10 @@ func (m *Manager) Start(app *model.Application, lib *model.Library) (*Admission,
 
 // Admit runs one admission through the pipeline — snapshot, speculative
 // map, serialized validate-and-commit, bounded retry — and reports the
-// outcome. Rejections are reported in Outcome.Err, not returned.
+// outcome. The admission's priority is the application's QoS class
+// (app.QoS.Priority): above BestEffort it may preempt lower-priority
+// admissions when the mesh is full (see SetPreemption). Rejections are
+// reported in Outcome.Err, not returned.
 func (m *Manager) Admit(app *model.Application, lib *model.Library) Outcome {
 	return m.admit(app, lib, 0)
 }
@@ -299,10 +376,16 @@ func footprintFresh(plat *arch.Platform, snap *arch.Snapshot, footprint []arch.R
 }
 
 func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Duration) Outcome {
-	out := Outcome{App: app.Name, Wait: wait}
+	prio := clampPriority(app.QoS.Priority)
+	out := Outcome{App: app.Name, Wait: wait, Priority: prio}
 
 	m.mu.Lock()
 	if _, dup := m.running[app.Name]; dup {
+		m.mu.Unlock()
+		out.Err = fmt.Errorf("manager: application %q already running", app.Name)
+		return out
+	}
+	if _, dup := m.preempting[app.Name]; dup {
 		m.mu.Unlock()
 		out.Err = fmt.Errorf("manager: application %q already running", app.Name)
 		return out
@@ -315,6 +398,7 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 	m.pending[app.Name] = struct{}{}
 	tc := m.templates
 	repairOn := m.repair
+	preemptOn := m.preemption && prio > model.BestEffort
 	maxRetries := m.maxRetries
 	m.mu.Unlock()
 
@@ -358,7 +442,7 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 						out.Commit += time.Since(commitStart)
 						m.mu.Lock()
 						m.seq++
-						ad := &Admission{App: app, Result: tpl, Seq: m.seq}
+						ad := &Admission{App: app, Result: tpl, Seq: m.seq, Priority: prio, lib: lib}
 						m.running[app.Name] = ad
 						m.stats.TemplateHits++
 						m.finishLocked(&out, ad, nil)
@@ -470,6 +554,13 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 				reason = res.Trace.Notes[n-1]
 			}
 			out.Commit += time.Since(commitStart)
+			// Full mesh, no retryable staleness: a priority arrival may
+			// displace lower-priority admissions instead of giving up. The
+			// mapper's infeasible verdict carries no region attribution,
+			// so every lower-priority victim is a candidate.
+			if preemptOn && m.preemptAdmit(&out, app, lib, mapper, prio, nil) {
+				return out
+			}
 			m.mu.Lock()
 			m.finishLocked(&out, nil, &RejectionError{App: app.Name, Reason: reason})
 			m.mu.Unlock()
@@ -503,7 +594,7 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 				out.Commit += time.Since(commitStart)
 				m.mu.Lock()
 				m.seq++
-				ad := &Admission{App: app, Result: res, Seq: m.seq}
+				ad := &Admission{App: app, Result: res, Seq: m.seq, Priority: prio, lib: lib}
 				m.running[app.Name] = ad
 				if repaired {
 					out.Repaired = true
@@ -541,6 +632,14 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 				continue
 			}
 			out.Commit += time.Since(commitStart)
+			// Out of retries (or a non-retryable shortfall): before
+			// rejecting, a priority arrival may preempt. The conflict's
+			// region attribution scopes victim selection to admissions
+			// whose footprints overlap where this plan ran out of room.
+			if preemptOn && isConflict &&
+				m.preemptAdmit(&out, app, lib, mapper, prio, conflict.Regions) {
+				return out
+			}
 			m.mu.Lock()
 			m.finishLocked(&out, nil, &RejectionError{App: app.Name, Reason: err.Error()})
 			m.mu.Unlock()
@@ -556,9 +655,11 @@ func (m *Manager) finishLocked(out *Outcome, ad *Admission, err error) {
 		out.Admitted = true
 		out.Admission = ad
 		m.stats.Admitted++
+		m.stats.ByClass[clampPriority(out.Priority)].Admitted++
 	} else {
 		out.Err = err
 		m.stats.Rejected++
+		m.stats.ByClass[clampPriority(out.Priority)].Rejected++
 	}
 	if out.Attempts > 0 {
 		m.stats.Retries += uint64(out.Attempts - 1)
@@ -567,7 +668,16 @@ func (m *Manager) finishLocked(out *Outcome, ad *Admission, err error) {
 	m.stats.Map += out.Map
 	m.stats.Repair += out.Repair
 	m.stats.Commit += out.Commit
+	m.stats.ByClass[clampPriority(out.Priority)].Latency +=
+		out.Wait + out.Map + out.Repair + out.Commit
 }
+
+// ErrRelocating reports a Stop that raced a preemption: the named
+// application is claimed by the preemption planner (about to be displaced
+// or mid-relocation) and cannot be stopped until it either returns to the
+// running set or is evicted. Callers should retry shortly; errors.Is
+// recognises it through the wrapping.
+var ErrRelocating = errors.New("being relocated by the preemption planner")
 
 // Stop releases the named application's resources, holding only the
 // region locks its reservations touch, so departures in disjoint regions
@@ -577,6 +687,10 @@ func (m *Manager) Stop(name string) error {
 	if _, pend := m.pending[name]; pend {
 		m.mu.Unlock()
 		return fmt.Errorf("manager: application %q is still being admitted", name)
+	}
+	if _, rel := m.preempting[name]; rel {
+		m.mu.Unlock()
+		return fmt.Errorf("manager: application %q is %w", name, ErrRelocating)
 	}
 	ad, ok := m.running[name]
 	if !ok {

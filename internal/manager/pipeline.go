@@ -16,6 +16,7 @@ type Request struct {
 
 type job struct {
 	req      Request
+	prio     model.Priority
 	enqueued time.Time
 	done     chan Outcome
 }
@@ -25,11 +26,21 @@ type job struct {
 // speculative mapping phase concurrently. Submit blocks when the queue is
 // full, giving callers natural backpressure; TrySubmit sheds load instead.
 //
+// The queue is priority-aware: requests are classed by their
+// application's QoS priority (model.Priority, tagged on the spec) into
+// per-class FIFOs, and workers serve the highest class first. Aging keeps
+// this starvation-free — a request promotes by one class per SetAging
+// interval spent queued, so under a continuous high-priority stream a
+// best-effort request still reaches the top class after a bounded wait
+// and is then served before any later arrival. With every request
+// untagged (BestEffort, the zero value) the queue degenerates to the
+// plain FIFO of the pre-priority pipeline.
+//
 // Departures need no queue — call Manager.Stop directly, it only takes
 // the short commit lock.
 type Pipeline struct {
-	m    *Manager
-	jobs chan *job
+	m *Manager
+	q *prioQueue
 
 	closing sync.RWMutex // held shared by submitters, exclusively by Close
 	closed  bool
@@ -37,16 +48,14 @@ type Pipeline struct {
 }
 
 // NewPipeline starts a pipeline with the given number of admission
-// workers and queue slots. workers < 1 is treated as 1; depth < 1 makes
-// the queue unbuffered (every Submit hands off directly to a worker).
+// workers and queue slots. workers < 1 is treated as 1; depth < 1 keeps a
+// single queue slot (every Submit hands off almost directly to a worker).
+// Aging defaults to DefaultAging; tune it with SetAging.
 func NewPipeline(m *Manager, workers, depth int) *Pipeline {
 	if workers < 1 {
 		workers = 1
 	}
-	if depth < 0 {
-		depth = 0
-	}
-	p := &Pipeline{m: m, jobs: make(chan *job, depth)}
+	p := &Pipeline{m: m, q: newPrioQueue(depth, DefaultAging)}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -54,25 +63,37 @@ func NewPipeline(m *Manager, workers, depth int) *Pipeline {
 	return p
 }
 
+// SetAging adjusts the queue time that promotes a waiting request by one
+// priority class (d ≤ 0 disables aging: strict class order, best-effort
+// requests may starve behind a continuous higher-class stream).
+func (p *Pipeline) SetAging(d time.Duration) { p.q.setAging(d) }
+
 func (p *Pipeline) worker() {
 	defer p.wg.Done()
-	for j := range p.jobs {
+	for {
+		j, ok := p.q.pop()
+		if !ok {
+			return
+		}
 		wait := time.Since(j.enqueued)
 		j.done <- p.m.admit(j.req.App, j.req.Lib, wait)
 	}
 }
 
 // Submit enqueues an admission request, blocking while the queue is full,
-// and returns a channel that delivers the Outcome. The channel is
-// buffered: a caller that abandons it leaks nothing and blocks no worker.
+// and returns a channel that delivers the Outcome. The request is queued
+// at the application's own QoS class. The channel is buffered: a caller
+// that abandons it leaks nothing and blocks no worker.
 func (p *Pipeline) Submit(app *model.Application, lib *model.Library) (<-chan Outcome, error) {
 	p.closing.RLock()
 	defer p.closing.RUnlock()
 	if p.closed {
 		return nil, fmt.Errorf("manager: pipeline is closed")
 	}
-	j := &job{req: Request{App: app, Lib: lib}, enqueued: time.Now(), done: make(chan Outcome, 1)}
-	p.jobs <- j
+	j := newJob(app, lib)
+	if !p.q.push(j) {
+		return nil, fmt.Errorf("manager: pipeline is closed")
+	}
 	return j.done, nil
 }
 
@@ -84,12 +105,19 @@ func (p *Pipeline) TrySubmit(app *model.Application, lib *model.Library) (<-chan
 	if p.closed {
 		return nil, false
 	}
-	j := &job{req: Request{App: app, Lib: lib}, enqueued: time.Now(), done: make(chan Outcome, 1)}
-	select {
-	case p.jobs <- j:
-		return j.done, true
-	default:
+	j := newJob(app, lib)
+	if !p.q.tryPush(j) {
 		return nil, false
+	}
+	return j.done, true
+}
+
+func newJob(app *model.Application, lib *model.Library) *job {
+	return &job{
+		req:      Request{App: app, Lib: lib},
+		prio:     clampPriority(app.QoS.Priority),
+		enqueued: time.Now(),
+		done:     make(chan Outcome, 1),
 	}
 }
 
@@ -103,7 +131,9 @@ func (p *Pipeline) Close() {
 		return
 	}
 	p.closed = true
-	close(p.jobs)
 	p.closing.Unlock()
+	// Workers drain the queue after close(): pop keeps delivering queued
+	// jobs and only reports done once the queue is empty.
+	p.q.close()
 	p.wg.Wait()
 }

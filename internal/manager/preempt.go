@@ -1,0 +1,291 @@
+package manager
+
+import (
+	"sort"
+	"time"
+
+	"rtsm/internal/arch"
+	"rtsm/internal/core"
+	"rtsm/internal/model"
+)
+
+// The preemption planner: policy on top of the mechanism stack. The
+// pipeline (PR 1) made admissions concurrent, repair (PR 2) made stale
+// mappings cheap to refit, and region sharding (PR 3) made commits
+// footprint-local. Preemption composes all three: when a priority arrival
+// finds the mesh full, the planner picks minimal-cost lower-priority
+// victims whose footprints overlap the failing plan's conflicted regions,
+// verifies on a hypothetical snapshot that their departure actually makes
+// the arrival feasible, swaps them atomically under the union of the
+// touched region locks — admissions confined to other regions commit
+// concurrently throughout — and then tries to *relocate* each victim via
+// core.Relocate (repair against the post-eviction residual) before
+// falling back to eviction.
+
+// maxPreemptionVictims bounds how many lower-priority admissions one
+// arrival may displace: past a few victims the hypothetical re-mapping
+// rounds cost more than the arrival is worth, and the blast radius of a
+// single admission stays contained.
+const maxPreemptionVictims = 3
+
+// victimCandidates lists running admissions of class strictly below prio,
+// cheapest first: lowest class, then lowest mapped energy (a proxy for
+// how much work a relocation must re-place), then admission order.
+func (m *Manager) victimCandidates(prio model.Priority) []*Admission {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*Admission
+	for _, ad := range m.running {
+		if ad.Priority < prio {
+			out = append(out, ad)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority < out[j].Priority
+		}
+		ei, ej := out[i].Result.Energy.Total(), out[j].Result.Energy.Total()
+		if ei != ej {
+			return ei < ej
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// claimVictim moves a running admission into the preempting set, making
+// it unstoppable (Stop returns ErrRelocating) and invisible to further
+// victim selection. It reports false when the admission is no longer
+// running — it stopped or was claimed by a competing preemption.
+func (m *Manager) claimVictim(ad *Admission) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur, ok := m.running[ad.App.Name]
+	if !ok || cur != ad {
+		return false
+	}
+	delete(m.running, ad.App.Name)
+	m.preempting[ad.App.Name] = ad
+	return true
+}
+
+// unclaimVictims returns claimed victims to the running set untouched —
+// the preemption did not go through.
+func (m *Manager) unclaimVictims(victims []*Admission) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, v := range victims {
+		delete(m.preempting, v.App.Name)
+		m.running[v.App.Name] = v
+	}
+}
+
+// pruneVictims drops claimed victims whose eviction the found mapping
+// does not actually rely on, returning the minimal suffix-greedy set.
+// The greedy accumulation can collect dead weight: with no region
+// attribution every cheapest candidate is tried first, and one that
+// relieved nothing still sits in the set when a later victim finally
+// makes the arrival fit. Each victim is re-checked by validating the
+// mapping against a hypothetical platform where everyone else in the
+// set is evicted but this victim stays; a victim that passes is
+// unclaimed unharmed. Validation is a residual-capacity scan — no
+// mapper rounds — so the prune costs one snapshot per kept-back check.
+func (m *Manager) pruneVictims(victims []*Admission, res *core.Result) []*Admission {
+	if len(victims) <= 1 {
+		return victims
+	}
+	needed := victims
+	for i := 0; i < len(needed); {
+		probe := m.Snapshot()
+		for j, v := range needed {
+			if j != i {
+				core.HypotheticalEviction(probe, v.Result)
+			}
+		}
+		if core.Validate(probe.Plat, res) == nil {
+			m.unclaimVictims([]*Admission{needed[i]})
+			needed = append(needed[:i], needed[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	return needed
+}
+
+// preemptAdmit tries to admit a priority arrival by displacing
+// lower-priority victims. It is called on the rejection path, outside all
+// locks, with target naming the regions where the failing plan ran out of
+// resources (nil = no attribution, every victim eligible). On success the
+// arrival is admitted, out is finished and true is returned; on failure
+// nothing has changed and the caller proceeds to reject as before.
+func (m *Manager) preemptAdmit(out *Outcome, app *model.Application, lib *model.Library,
+	mapper *core.Mapper, prio model.Priority, target []arch.RegionID) bool {
+	cands := m.victimCandidates(prio)
+	if len(cands) == 0 {
+		return false
+	}
+
+	// Greedy victim accumulation on a hypothetical platform: evict the
+	// cheapest overlapping candidate, re-map, repeat until the arrival
+	// fits or the victim budget is spent. All of this runs on the
+	// snapshot's deep copy — the live platform is untouched and unlocked.
+	// A candidate is claimed before its Result is read: once claimed,
+	// nobody else (Stop, a competing preemptor's relocation) touches the
+	// admission, so the read is race-free; a candidate that turns out
+	// not to overlap the target regions is unclaimed straight away.
+	mapStart := time.Now()
+	snap := m.Snapshot()
+	var victims []*Admission
+	var res *core.Result
+	for _, cand := range cands {
+		if len(victims) == maxPreemptionVictims {
+			break
+		}
+		if !m.claimVictim(cand) {
+			continue
+		}
+		rp, err := core.NewRemovalPlan(m.plat, cand.Result)
+		if err != nil || (target != nil && !rp.Overlaps(target)) {
+			m.unclaimVictims([]*Admission{cand})
+			continue
+		}
+		victims = append(victims, cand)
+		core.HypotheticalEviction(snap, cand.Result)
+		r, err := mapper.Map(app, snap.Plat)
+		if err != nil {
+			break
+		}
+		if r.Feasible {
+			res = r
+			break
+		}
+	}
+	if res != nil {
+		victims = m.pruneVictims(victims, res)
+	}
+	out.Map += time.Since(mapStart)
+	if res == nil {
+		m.unclaimVictims(victims)
+		return false
+	}
+
+	// Atomic swap under the union of the victims' and the arrival's
+	// region locks: release the victims, re-validate the arrival against
+	// the live platform (a competing admission may have landed since the
+	// hypothetical snapshot), commit or roll everything back. Admissions
+	// whose footprints avoid these regions commit concurrently.
+	commitStart := time.Now()
+	nplan, err := core.NewPlan(m.plat, res)
+	if err != nil {
+		m.unclaimVictims(victims)
+		out.Commit += time.Since(commitStart)
+		return false
+	}
+	vplans := make([]*core.Plan, len(victims))
+	union := append([]arch.RegionID(nil), nplan.Regions()...)
+	for i, v := range victims {
+		vp, verr := core.NewRemovalPlan(m.plat, v.Result)
+		if verr != nil {
+			m.unclaimVictims(victims)
+			out.Commit += time.Since(commitStart)
+			return false
+		}
+		vplans[i] = vp
+		union = append(union, vp.Regions()...)
+	}
+	m.locks.Lock(union)
+	for _, vp := range vplans {
+		vp.Release(m.plat)
+	}
+	if err := nplan.Validate(m.plat); err != nil {
+		// Lost a race since the hypothetical snapshot: roll the
+		// evictions back verbatim and let the caller reject. Preemption
+		// is a last resort, not a retry loop of its own.
+		for _, vp := range vplans {
+			vp.Commit(m.plat)
+		}
+		m.locks.Unlock(union)
+		m.unclaimVictims(victims)
+		out.Commit += time.Since(commitStart)
+		return false
+	}
+	nplan.Commit(m.plat)
+	m.locks.Unlock(union)
+	out.Commit += time.Since(commitStart)
+
+	m.mu.Lock()
+	m.seq++
+	ad := &Admission{App: app, Result: res, Seq: m.seq, Priority: prio, lib: lib}
+	m.running[app.Name] = ad
+	m.stats.Preemptions += uint64(len(victims))
+	for _, v := range victims {
+		out.Preempted = append(out.Preempted, v.App.Name)
+	}
+	maxRetries := m.maxRetries
+	m.mu.Unlock()
+
+	// Relocation before eviction: each victim's stale mapping is refit
+	// against the post-swap residual — typically most placements survive
+	// and only the overlap with the new arrival is re-placed — and only
+	// when no refit commits is the victim truly gone. This runs before
+	// finishLocked so the relocation repair/commit time lands in Stats
+	// and the class's latency — displacing victims is part of what this
+	// admission cost.
+	for _, v := range victims {
+		m.relocateVictim(v, out, maxRetries)
+	}
+	m.mu.Lock()
+	m.finishLocked(out, ad, nil)
+	m.mu.Unlock()
+	return true
+}
+
+// relocateVictim tries to keep a preempted (already released) victim
+// running by committing a relocated mapping; when nothing fits it records
+// the eviction. Runs outside all locks except the short sharded commits.
+func (m *Manager) relocateVictim(v *Admission, out *Outcome, maxRetries int) {
+	vm := &core.Mapper{Lib: v.lib, Cfg: m.cfg}
+	var repairAttempts uint64
+	for attempt := 0; ; attempt++ {
+		repairStart := time.Now()
+		snap := m.Snapshot()
+		rep, err := vm.Relocate(v.Result, snap)
+		out.Repair += time.Since(repairStart)
+		repairAttempts++
+		if err != nil {
+			break // nothing to salvage or infeasible: evict
+		}
+		commitStart := time.Now()
+		plan, perr := core.NewPlan(m.plat, rep)
+		if perr != nil {
+			out.Commit += time.Since(commitStart)
+			break
+		}
+		footprint := plan.Regions()
+		m.locks.Lock(footprint)
+		verr := plan.Validate(m.plat)
+		if verr == nil {
+			plan.Commit(m.plat)
+			m.locks.Unlock(footprint)
+			out.Commit += time.Since(commitStart)
+			m.mu.Lock()
+			v.Result = rep
+			delete(m.preempting, v.App.Name)
+			m.running[v.App.Name] = v
+			m.stats.Relocations++
+			m.stats.RepairAttempts += repairAttempts
+			m.mu.Unlock()
+			return
+		}
+		m.locks.Unlock(footprint)
+		out.Commit += time.Since(commitStart)
+		if attempt >= maxRetries {
+			break // lost too many commit races: evict
+		}
+	}
+	m.mu.Lock()
+	delete(m.preempting, v.App.Name)
+	m.stats.Evictions++
+	m.stats.RepairAttempts += repairAttempts
+	m.mu.Unlock()
+}

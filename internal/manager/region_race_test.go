@@ -1,11 +1,14 @@
 package manager
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"rtsm/internal/core"
+	"rtsm/internal/model"
 	"rtsm/internal/workload"
 )
 
@@ -81,6 +84,108 @@ func TestShardedCommitStraddlingRegions(t *testing.T) {
 	}
 	t.Logf("straddle churn: %d admitted, %d rejected, %d conflicts, %d template hits",
 		st.Admitted, st.Rejected, st.Conflicts, st.TemplateHits)
+}
+
+// TestPreemptionInRegionADoesNotBlockRegionB stresses the priority
+// planner's locking claim under -race: preemption work confined to
+// region 0 — hypothetical eviction, the union-locked victim/arrival
+// swap, victim relocation — holds only region-0 locks in its commit
+// sections, so best-effort churn whose footprints stay in region 3
+// keeps committing concurrently throughout the storm. The test drives a
+// continuous preemption storm in region 0 (critical arrivals onto a
+// saturated quadrant) against a fixed churn quota in region 3 and
+// requires the quota to complete while the storm is provably still
+// running, with the ledger race-free, invariant-clean and pristine
+// after teardown.
+func TestPreemptionInRegionADoesNotBlockRegionB(t *testing.T) {
+	plat := workload.SyntheticRegionPlatform(8, 8, 123, 4)
+	pristine := plat.Residual()
+	m := New(plat, core.Config{})
+
+	mkRegion := func(name string, seed int64, region int, procs int, util float64, prio model.Priority) (*model.Application, *model.Library) {
+		app, lib := workload.Synthetic(workload.SynthOptions{
+			Shape: workload.ShapeChain, Processes: procs, Seed: seed,
+			MaxUtil: util, PeriodNs: 400_000,
+			SrcTile: fmt.Sprintf("SRC%d", region), SinkTile: fmt.Sprintf("SINK%d", region),
+			Priority: prio,
+		})
+		app.Name = name
+		return app, lib
+	}
+
+	// Saturate region 0 with best-effort residents so critical arrivals
+	// there must preempt.
+	for i := 0; i < 200; i++ {
+		app, lib := mkRegion(fmt.Sprintf("a-bg-%d", i), int64(i%5), 0, 3, 0.30, model.BestEffort)
+		if out := m.Admit(app, lib); !out.Admitted {
+			break
+		}
+	}
+
+	stormDone := make(chan struct{})
+	stop := make(chan struct{})
+	var stormAdmitted, stormPreempted int
+	go func() {
+		defer close(stormDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			app, lib := mkRegion(fmt.Sprintf("a-crit-%d", i), int64(i%3), 0, 3, 0.30, model.Critical)
+			out := m.Admit(app, lib)
+			if out.Admitted {
+				stormAdmitted++
+				stormPreempted += len(out.Preempted)
+				if err := m.Stop(app.Name); err != nil && !errors.Is(err, ErrRelocating) {
+					t.Errorf("storm stop %s: %v", app.Name, err)
+					return
+				}
+			}
+		}
+	}()
+
+	// The region-3 churn quota, run while the storm is live.
+	const quota = 40
+	deadline := time.After(60 * time.Second)
+	for i := 0; i < quota; i++ {
+		done := make(chan Outcome, 1)
+		go func(i int) {
+			app, lib := mkRegion(fmt.Sprintf("b-%d", i), int64(i%4), 3, 3, 0.10, model.BestEffort)
+			out := m.Admit(app, lib)
+			if out.Admitted {
+				if err := m.Stop(app.Name); err != nil {
+					t.Errorf("stop %s: %v", app.Name, err)
+				}
+			}
+			done <- out
+		}(i)
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatal("region-3 churn starved behind the region-0 preemption storm")
+		}
+	}
+	close(stop)
+	<-stormDone
+	if stormAdmitted == 0 || stormPreempted == 0 {
+		t.Fatalf("storm did not exercise preemption (admitted %d, preempted %d)", stormAdmitted, stormPreempted)
+	}
+
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after storm: %v", err)
+	}
+	for _, ad := range m.Running() {
+		if err := m.Stop(ad.App.Name); err != nil {
+			t.Fatalf("teardown stop %s: %v", ad.App.Name, err)
+		}
+	}
+	if final := m.Residual(); !final.Equal(pristine) {
+		d := pristine.Diff(final)
+		t.Fatalf("ledger not pristine after storm teardown: %d tiles, %d links drifted",
+			len(d.Tiles), len(d.Links))
+	}
 }
 
 // TestShardedDegenerateSingleRegion pins the degenerate case the rest of

@@ -35,7 +35,8 @@ import (
 func Fingerprint(app *model.Application, lib *model.Library) (string, error) {
 	h := sha256.New()
 	probe := *app
-	probe.Name = "" // identity is structural, not nominal
+	probe.Name = ""        // identity is structural, not nominal
+	probe.QoS.Priority = 0 // priority orders the queue, not the mapping
 	enc := json.NewEncoder(h)
 	if err := enc.Encode(&probe); err != nil {
 		return "", err

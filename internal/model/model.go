@@ -55,6 +55,42 @@ type Channel struct {
 // BytesPerPeriod returns the channel's traffic volume per QoS period.
 func (c *Channel) BytesPerPeriod() int64 { return c.TokensPerPeriod * c.TokenBytes }
 
+// Priority is an application's admission QoS class. It does not change
+// how the application is mapped — the four-step mapper is priority-blind —
+// but it orders the manager's admission queue and decides who may preempt
+// whom when the platform is full: an arrival of class p may displace
+// running applications of strictly lower class. The zero value is
+// BestEffort, so untagged specs keep the pre-priority behaviour.
+type Priority int
+
+const (
+	// BestEffort is the default class: admitted when resources allow,
+	// first to be preempted when a higher class needs the platform.
+	BestEffort Priority = iota
+	// Standard is the middle class for ordinary interactive workloads.
+	Standard
+	// Critical is the latency-critical class (e.g. a live baseband
+	// receiver): it jumps the admission queue and may preempt lower
+	// classes when the mesh is full.
+	Critical
+)
+
+// NumPriorities is the number of admission classes, for per-class arrays.
+const NumPriorities = int(Critical) + 1
+
+// String names the class for reports.
+func (p Priority) String() string {
+	switch p {
+	case BestEffort:
+		return "best-effort"
+	case Standard:
+		return "standard"
+	case Critical:
+		return "critical"
+	}
+	return fmt.Sprintf("priority-%d", int(p))
+}
+
 // QoS holds the application's constraints (paper §1.3: throughput
 // requirements and latency bounds).
 type QoS struct {
@@ -64,6 +100,9 @@ type QoS struct {
 	// LatencyNs bounds the end-to-end latency of one iteration; zero
 	// means unconstrained.
 	LatencyNs int64 `json:"latencyNs,omitempty"`
+	// Priority is the admission class; it never influences the mapping
+	// itself, only queue order and preemption (see manager).
+	Priority Priority `json:"priority,omitempty"`
 }
 
 // Application is a complete ALS: the KPN plus QoS constraints.

@@ -45,6 +45,12 @@ type SynthOptions struct {
 	// admissions land in disjoint mesh regions.
 	SrcTile  string
 	SinkTile string
+	// Priority tags the generated application's admission QoS class
+	// (app.QoS.Priority). It changes nothing about the generated
+	// structure — the mapper is priority-blind — only how the manager
+	// queues the arrival and whether it may preempt when the mesh is
+	// full. Zero is BestEffort, the pre-priority behaviour.
+	Priority model.Priority
 }
 
 // synthTypes is the tile-type pool synthetic implementations draw from.
@@ -75,7 +81,7 @@ func Synthetic(opts SynthOptions) (*model.Application, *model.Library) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	app := model.NewApplication(
 		fmt.Sprintf("synthetic-%s-%d-seed%d", opts.Shape, opts.Processes, opts.Seed),
-		model.QoS{PeriodNs: opts.PeriodNs})
+		model.QoS{PeriodNs: opts.PeriodNs, Priority: opts.Priority})
 	src := app.AddPinnedProcess("src", opts.SrcTile)
 	sink := app.AddPinnedProcess("sink", opts.SinkTile)
 	procs := make([]*model.Process, opts.Processes)
