@@ -16,6 +16,8 @@
 //	go run ./cmd/churn -regionsize 4         # region-sharded commit path
 //	go run ./cmd/churn -priomix 70:20:10     # mixed admission classes, preemption on
 //	go run ./cmd/churn -priomix 70:20:10 -preempt=false  # priority queue only
+//	go run ./cmd/churn -cow=false            # per-admission deep-copy snapshots
+//	go run ./cmd/churn -epoch=false          # CoW snapshots, no epoch sharing
 package main
 
 import (
@@ -43,6 +45,8 @@ var (
 	globalOne = flag.Bool("globallock", false, "keep -regionsize's workload but commit through one global lock (sharding ablation)")
 	reuse     = flag.Bool("reuse", true, "reuse mapping templates for recurring structures")
 	repair    = flag.Bool("repair", true, "repair stale mappings instead of re-mapping from scratch")
+	cow       = flag.Bool("cow", true, "copy-on-write snapshots (off = per-admission deep copies, the snapshot ablation)")
+	epoch     = flag.Bool("epoch", true, "share one frozen base snapshot per pipeline epoch (needs -cow)")
 	priomix   = flag.String("priomix", "", "mixed admission classes as bestEffort:standard:critical weights, e.g. 70:20:10 (empty = all best-effort)")
 	preempt   = flag.Bool("preempt", true, "let full-mesh priority arrivals preempt lower classes (relocation before eviction)")
 	retries   = flag.Int("retries", manager.DefaultMaxRetries, "max re-mapping rounds per arrival")
@@ -64,6 +68,8 @@ func options() churn.Options {
 		GlobalLock: *globalOne,
 		Reuse:      *reuse,
 		Repair:     *repair,
+		CoW:        *cow,
+		Epoch:      *epoch,
 		PrioMix:    *priomix,
 		Preempt:    *preempt,
 		Retries:    *retries,
@@ -85,6 +91,10 @@ func report(label string, r churn.Result) {
 	fmt.Printf("  incremental repair %d of %d retry/stale rounds repaired (%d of %d conflict retries, %d of %d stale templates; %d fell back to full remap)\n",
 		st.RepairedConflicts+st.RepairedTemplates, st.ConflictRetries+st.StaleTemplates,
 		st.RepairedConflicts, st.ConflictRetries, st.RepairedTemplates, st.StaleTemplates, st.FullRemaps)
+	if acq := st.Snapshots + st.SnapshotsShared; acq > 0 {
+		fmt.Printf("  snapshots         %d captured, %d shared from an epoch (%.1f%%), %d CoW region faults\n",
+			st.Snapshots, st.SnapshotsShared, 100*float64(st.SnapshotsShared)/float64(acq), st.CoWFaults)
+	}
 	if rate, ok := st.RepairRate(); ok {
 		fmt.Printf("  repair rate       %.1f%%\n", 100*rate)
 	}

@@ -103,9 +103,13 @@ type Tile struct {
 // CycleBudget returns the number of clock cycles available on the tile per
 // period of the given duration in nanoseconds.
 func (t *Tile) CycleBudget(periodNs int64) int64 {
+	return cycleBudget(t.ClockHz, periodNs)
+}
+
+func cycleBudget(clockHz, periodNs int64) int64 {
 	// cycles = periodNs * ClockHz / 1e9, computed to avoid overflow for
 	// realistic clocks (<= ~10 GHz) and periods (<= seconds).
-	return periodNs * (t.ClockHz / 1_000_000) / 1_000 // (ns * MHz) / 1000
+	return periodNs * (clockHz / 1_000_000) / 1_000 // (ns * MHz) / 1000
 }
 
 // FreeMem returns the unreserved tile-local memory.

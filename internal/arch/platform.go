@@ -26,6 +26,15 @@ type Platform struct {
 	byName map[string]TileID // tile name -> id
 	atRtr  map[RouterID][]TileID
 
+	// Immutable static description, indexed by tile/link ID and shared by
+	// all clones. The lock-free plan path (core.NewPlan) reads topology
+	// and clocks through these instead of the Tiles/Links slices, whose
+	// elements copy-on-write faults swap under region locks — a lock-free
+	// read of the same element would race.
+	tileRouters []RouterID
+	tileClocks  []int64
+	linkFroms   []RouterID
+
 	// version counts committed reservation changes across the whole
 	// platform; see Snapshot. It is atomic so commits holding disjoint
 	// region locks can bump it without sharing a lock.
@@ -35,6 +44,21 @@ type Platform struct {
 	// only under the owning region's lock. See region.go.
 	grid           *regionGrid
 	regionVersions []uint64
+
+	// Copy-on-write state (see cow.go). shared[r] marks region r's tile
+	// and link structs as possibly referenced by another platform — the
+	// first write must copy the region; it is toggled under the same
+	// serialization as the region's reservation state. frozen marks an
+	// immutable snapshot base. tilesByRegion/linksByRegion index the
+	// resources per region (immutable once the platform is shared) so a
+	// fault copies exactly one region. cowFaults, when set, counts faults
+	// across the platform and everything derived from it.
+	shared        []bool
+	frozen        bool
+	cowChild      bool
+	tilesByRegion [][]TileID
+	linksByRegion [][]LinkID
+	cowFaults     *atomic.Uint64
 }
 
 // NewMesh creates a w×h mesh of routers with bidirectional links of the
@@ -64,6 +88,7 @@ func NewMesh(name string, w, h int, linkCapBps int64) *Platform {
 	link := func(a, b RouterID) {
 		id := LinkID(len(p.Links))
 		p.Links = append(p.Links, &Link{ID: id, From: a, To: b, CapBps: linkCapBps})
+		p.linkFroms = append(p.linkFroms, a)
 		p.out[a] = append(p.out[a], id)
 		p.in[b] = append(p.in[b], id)
 	}
@@ -82,6 +107,7 @@ func NewMesh(name string, w, h int, linkCapBps int64) *Platform {
 			}
 		}
 	}
+	p.ensureCoWState()
 	return p
 }
 
@@ -128,7 +154,24 @@ func (p *Platform) AttachTile(s TileSpec) *Tile {
 	p.Tiles = append(p.Tiles, t)
 	p.byName[s.Name] = t.ID
 	p.atRtr[r.ID] = append(p.atRtr[r.ID], t.ID)
+	p.tileRouters = append(p.tileRouters, r.ID)
+	p.tileClocks = append(p.tileClocks, s.ClockHz)
+	if reg := p.RegionOfRouter(r.ID); int(reg) < len(p.tilesByRegion) {
+		p.tilesByRegion[reg] = append(p.tilesByRegion[reg], t.ID)
+	}
 	return t
+}
+
+// TileCycleBudget returns tile id's cycle budget per period, computed
+// from the platform's immutable static description. The lock-free plan
+// aggregation (core.NewPlan) uses it so planning never touches the
+// tile's reservation struct, whose pointer copy-on-write faults may be
+// swapping concurrently.
+func (p *Platform) TileCycleBudget(id TileID, periodNs int64) int64 {
+	if id < 0 || int(id) >= len(p.tileClocks) {
+		panic(fmt.Sprintf("arch: tile id %d out of range", id))
+	}
+	return cycleBudget(p.tileClocks[id], periodNs)
 }
 
 // Tile returns the tile with the given ID.
@@ -211,8 +254,15 @@ func (p *Platform) LinkBetween(a, b RouterID) *Link {
 // ResetReservations clears all resource reservations on tiles and links,
 // returning the platform to its pristine state. The mapper calls this
 // between independent mapping attempts; multi-application scenarios do not
-// call it, so reservations of admitted applications persist.
+// call it, so reservations of admitted applications persist. Regions still
+// shared with a copy-on-write snapshot are faulted in first, so snapshots
+// keep their captured state.
 func (p *Platform) ResetReservations() {
+	for r := range p.shared {
+		if p.shared[r] {
+			p.materializeRegion(RegionID(r))
+		}
+	}
 	for _, t := range p.Tiles {
 		t.ReservedMem = 0
 		t.ReservedInBps = 0
@@ -231,27 +281,18 @@ func (p *Platform) ResetReservations() {
 
 // Clone returns a deep copy of the platform including reservation state.
 // Search procedures clone platforms to evaluate alternatives without
-// disturbing committed state.
+// disturbing committed state. The copy owns all of its structs (nothing
+// is shared copy-on-write) and is never frozen, whatever p was; for the
+// cheap structure-sharing alternative see CloneCoW.
 func (p *Platform) Clone() *Platform {
-	q := &Platform{
-		Name:           p.Name,
-		Width:          p.Width,
-		Height:         p.Height,
-		NoCClockHz:     p.NoCClockHz,
-		out:            p.out, // immutable after construction
-		in:             p.in,
-		byName:         p.byName,
-		atRtr:          p.atRtr,
-		grid:           p.grid, // immutable once partitioned
-		regionVersions: p.regionVersionsSnapshot(),
-	}
+	q := p.shallowMeta()
+	q.regionVersions = p.regionVersionsSnapshot()
 	q.version.Store(p.version.Load())
 	q.Tiles = make([]*Tile, len(p.Tiles))
 	for i, t := range p.Tiles {
 		c := *t
 		q.Tiles[i] = &c
 	}
-	q.Routers = p.Routers // immutable after construction
 	q.Links = make([]*Link, len(p.Links))
 	for i, l := range p.Links {
 		c := *l

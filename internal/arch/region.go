@@ -64,6 +64,7 @@ func (g *regionGrid) of(pt Point) RegionID {
 // repartitioning a live platform would break the region↔lock
 // correspondence. Returns the region count.
 func (p *Platform) PartitionRegions(size int) int {
+	defer p.ensureCoWState()
 	if size <= 0 {
 		p.grid = nil
 		p.regionVersions = []uint64{0}
@@ -104,17 +105,26 @@ func (p *Platform) RegionOfRouter(r RouterID) RegionID {
 }
 
 // RegionOfTile returns the region owning a tile: the region of the router
-// its network interface attaches to.
+// its network interface attaches to. It reads only the platform's
+// immutable static description, so it is safe lock-free even while
+// copy-on-write faults swap reservation structs in other goroutines.
 func (p *Platform) RegionOfTile(id TileID) RegionID {
-	return p.RegionOfRouter(p.Tile(id).Router)
+	if id < 0 || int(id) >= len(p.tileRouters) {
+		panic(fmt.Sprintf("arch: tile id %d out of range", id))
+	}
+	return p.RegionOfRouter(p.tileRouters[id])
 }
 
 // RegionOfLink returns the region owning a link. A link belongs to the
 // region of its source router — the canonical assignment that gives
 // boundary-crossing links exactly one owner, so a commit plan's region
-// footprint is well defined.
+// footprint is well defined. Like RegionOfTile it reads only immutable
+// static data and is safe lock-free.
 func (p *Platform) RegionOfLink(id LinkID) RegionID {
-	return p.RegionOfRouter(p.Link(id).From)
+	if id < 0 || int(id) >= len(p.linkFroms) {
+		panic(fmt.Sprintf("arch: link id %d out of range", id))
+	}
+	return p.RegionOfRouter(p.linkFroms[id])
 }
 
 // Region returns the geometry of one region of the current partition.
@@ -232,6 +242,14 @@ func (l *RegionLocks) Unlock(regions []RegionID) {
 		l.mus[norm[i]].Unlock()
 	}
 }
+
+// LockRegion acquires one region's lock. The copy-on-write snapshot
+// capture uses it to visit regions one at a time instead of holding the
+// whole set.
+func (l *RegionLocks) LockRegion(r RegionID) { l.mus[r].Lock() }
+
+// UnlockRegion releases one region's lock.
+func (l *RegionLocks) UnlockRegion(r RegionID) { l.mus[r].Unlock() }
 
 // LockAll acquires every region lock in ascending order.
 func (l *RegionLocks) LockAll() {

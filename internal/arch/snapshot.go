@@ -3,22 +3,31 @@ package arch
 // This file implements the snapshot/residual view the concurrent admission
 // pipeline builds on. An online resource manager wants to run the (slow)
 // spatial mapping of an arriving application without holding the platform
-// lock; it therefore maps against a Snapshot — a point-in-time deep copy of
+// lock; it therefore maps against a Snapshot — a point-in-time view of
 // the platform including all reservations — and only re-acquires the lock
 // for a short commit phase that re-validates the mapping against the live
 // platform (optimistic concurrency). The Version counter lets the commit
 // phase detect cheaply whether any admission or departure landed since the
 // snapshot was taken.
 //
+// Snapshots come in two flavours: Platform.Snapshot deep-copies every
+// tile and link (the caller owns the copy outright and may mutate it),
+// while Platform.SnapshotCoW (cow.go) captures a frozen copy-on-write
+// view in O(regions) — the admission hot path's default, shareable
+// between any number of concurrent readers.
+//
 // Platform itself remains lock-free: callers that share a platform between
 // goroutines (package manager) serialize Snapshot, Version and all
-// reservation mutations behind their own mutex. A Snapshot, once taken, is
-// owned by the goroutine that took it.
+// reservation mutations behind their own locks. A deep Snapshot, once
+// taken, is owned by the goroutine that took it; a CoW snapshot is
+// immutable and may be shared.
 
-// Snapshot is a point-in-time copy of a platform's full reservation state.
+// Snapshot is a point-in-time view of a platform's full reservation state.
 type Snapshot struct {
-	// Plat is a deep copy of the platform (see Platform.Clone); the mapper
-	// may freely mutate it without affecting the live platform.
+	// Plat carries the snapshot's reservation state. For a deep snapshot
+	// (Platform.Snapshot) it is a private copy the holder may freely
+	// mutate; for a copy-on-write snapshot (Platform.SnapshotCoW) it is
+	// frozen — derive a Writable snapshot before mutating.
 	Plat *Platform
 	// Version is the platform's reservation version at the time the
 	// snapshot was taken.
@@ -31,9 +40,11 @@ type Snapshot struct {
 }
 
 // Snapshot returns a deep copy of the platform tagged with its current
-// global and per-region reservation versions. The caller must hold
-// whatever serializes mutations of this platform — with region locks,
-// that means all of them, since the copy spans every region.
+// global and per-region reservation versions. Because the copy spans
+// every region in one pass, the caller must hold whatever serializes
+// mutations of the whole platform — with region locks, all of them.
+// SnapshotCoW is the cheaper alternative whose capture coordinates per
+// region and needs no caller-held locks at all.
 func (p *Platform) Snapshot() *Snapshot {
 	return &Snapshot{
 		Plat:           p.Clone(),

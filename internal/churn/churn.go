@@ -62,6 +62,14 @@ type Options struct {
 	Reuse   bool
 	Repair  bool
 	Retries int
+	// CoW selects copy-on-write snapshots: the admission path captures
+	// O(regions) pointer views instead of deep-copying the mesh, and the
+	// live platform faults regions in as commits write. Off restores the
+	// pre-CoW per-admission deep copy (the snapshot ablation).
+	CoW bool
+	// Epoch lets concurrent admissions share one frozen base snapshot
+	// per pipeline epoch (only meaningful with CoW on).
+	Epoch bool
 	// PrioMix assigns admission classes to arrivals as
 	// "bestEffort:standard:critical" integer weights, e.g. "70:20:10".
 	// Arrival i's class is drawn deterministically from the weights by
@@ -91,6 +99,8 @@ func Defaults() Options {
 		Reuse:     true,
 		Repair:    true,
 		Preempt:   true,
+		CoW:       true,
+		Epoch:     true,
 		Retries:   manager.DefaultMaxRetries,
 	}
 }
@@ -256,6 +266,8 @@ func Run(o Options) Result {
 	m.SetMappingReuse(o.Reuse)
 	m.SetRepair(o.Repair)
 	m.SetPreemption(o.Preempt)
+	m.SetCoWSnapshots(o.CoW)
+	m.SetEpochSnapshots(o.Epoch)
 	m.SetMaxRetries(o.Retries)
 	pipe := manager.NewPipeline(m, o.Workers, o.Queue)
 

@@ -136,6 +136,11 @@ type commitPlan struct {
 	app   *model.Application
 	tiles map[arch.TileID]*tileDelta
 	links map[arch.LinkID]int64
+	// arena backs the tileDelta values in one allocation; tile() hands
+	// out pointers into it while capacity lasts. Entries are never
+	// re-derived from the slice, so a fallback heap allocation past the
+	// pre-sized capacity is harmless.
+	arena []tileDelta
 	// regions is the plan's region footprint: the owners of every tile
 	// and link the plan touches, ascending without duplicates. Validation
 	// and commit only read and mutate state inside these regions, so they
@@ -160,7 +165,12 @@ func (pl *commitPlan) footprint(plat *arch.Platform) []arch.RegionID {
 func (pl *commitPlan) tile(id arch.TileID) *tileDelta {
 	d := pl.tiles[id]
 	if d == nil {
-		d = &tileDelta{}
+		if len(pl.arena) < cap(pl.arena) {
+			pl.arena = pl.arena[:len(pl.arena)+1]
+			d = &pl.arena[len(pl.arena)-1]
+		} else {
+			d = &tileDelta{}
+		}
 		pl.tiles[id] = d
 	}
 	return d
@@ -173,10 +183,16 @@ func (pl *commitPlan) tile(id arch.TileID) *tileDelta {
 func planReservations(plat *arch.Platform, res *Result, strict bool) (*commitPlan, error) {
 	mp := res.Mapping
 	app := mp.App
+	// Size the aggregation maps from the mapping itself: one tile entry
+	// per placed process at most, a handful of links per routed channel.
+	// Pre-sizing keeps the per-admission allocation count flat — this
+	// plan is rebuilt on every validate/commit round of the hot path.
+	chans := app.StreamChannels()
 	pl := &commitPlan{
 		app:   app,
-		tiles: make(map[arch.TileID]*tileDelta),
-		links: make(map[arch.LinkID]int64),
+		tiles: make(map[arch.TileID]*tileDelta, len(mp.Tile)),
+		links: make(map[arch.LinkID]int64, 4*len(chans)),
+		arena: make([]tileDelta, 0, len(mp.Tile)),
 	}
 	for _, p := range app.MappableProcesses() {
 		im := mp.Impl[p.ID]
@@ -196,10 +212,13 @@ func planReservations(plat *arch.Platform, res *Result, strict bool) (*commitPla
 		}
 		d := pl.tile(tid)
 		d.mem += im.MemBytes
-		d.util += utilisation(plat.Tile(tid), cyc, app.QoS.PeriodNs)
+		// The static cycle budget, not the tile struct: planning runs
+		// lock-free, and the struct pointer may be mid-swap by a
+		// copy-on-write fault in another goroutine.
+		d.util += utilisationOf(plat.TileCycleBudget(tid, app.QoS.PeriodNs), cyc)
 		d.occupants++
 	}
-	for _, c := range app.StreamChannels() {
+	for _, c := range chans {
 		path, ok := mp.Route[c.ID]
 		if !ok {
 			continue
@@ -300,8 +319,12 @@ func (pl *commitPlan) validate(plat *arch.Platform) error {
 
 // commit applies the plan. sign is +1 to reserve, -1 to release. Besides
 // the global version it bumps the version of every region in the plan's
-// footprint — the caller holds exactly those region locks.
+// footprint — the caller holds exactly those region locks, which is also
+// what makes the copy-on-write fault-in safe: regions still shared with a
+// snapshot are copied before the first mutation, so snapshots keep their
+// captured state while the live platform moves on.
 func (pl *commitPlan) commit(plat *arch.Platform, sign int64) {
+	plat.MaterializeRegions(pl.regions)
 	for tid, d := range pl.tiles {
 		t := plat.Tile(tid)
 		t.ReservedMem += sign * d.mem

@@ -82,9 +82,10 @@ func FinishAssignment(lib *model.Library, cfg Config, app *model.Application, pl
 		if !canHost(t, pl.Impl.MemBytes, util) {
 			return nil, fmt.Errorf("core: placement not adherent: tile %q cannot host %s", t.Name, pl.Impl)
 		}
-		t.ReservedMem += pl.Impl.MemBytes
-		t.ReservedUtil += util
-		t.Occupants++
+		wt := work.WTile(t.ID)
+		wt.ReservedMem += pl.Impl.MemBytes
+		wt.ReservedUtil += util
+		wt.Occupants++
 		mp.Impl[p.ID] = pl.Impl
 		mp.Tile[p.ID] = t.ID
 		placed[pl.Process] = true

@@ -274,13 +274,28 @@ func (m *Mapper) checkAdequacyPossible(app *model.Application, plat *arch.Platfo
 	return nil
 }
 
+// workClone returns the private platform an attempt speculatively
+// reserves on. Mapping against a frozen copy-on-write snapshot — the
+// admission hot path — or against a goroutine-private CoW child — the
+// preemption planner's writable probe — gets a CoW child that faults in
+// only the regions the attempt actually writes, instead of deep-copying
+// the whole mesh per refinement round; any other input keeps the
+// classic deep copy, so a caller's own platform is never silently
+// marked shared.
+func workClone(plat *arch.Platform) *arch.Platform {
+	if plat.Frozen() || plat.CoWClone() {
+		return plat.CloneCoW()
+	}
+	return plat.Clone()
+}
+
 // attempt runs steps 1–4 once on a private clone of the platform. A
 // non-nil seed pre-installs salvaged decisions from a stale mapping: its
 // placements are reserved up front and locked against steps 1 and 2, its
 // routes are reserved and skipped by step 3, so only what the seed leaves
 // open is re-decided (the incremental repair path).
 func (m *Mapper) attempt(app *model.Application, plat *arch.Platform, tabu *tabu, seed *seedMapping) (*Result, *feedback, error) {
-	work := plat.Clone()
+	work := workClone(plat)
 	trace := &Trace{}
 	mapping := &Mapping{
 		App:     app,
@@ -341,7 +356,10 @@ func AssignmentView(mp *Mapping) energy.Assignment {
 const utilEps = 1e-9
 
 func utilisation(t *arch.Tile, cyclesPerPeriod, periodNs int64) float64 {
-	budget := t.CycleBudget(periodNs)
+	return utilisationOf(t.CycleBudget(periodNs), cyclesPerPeriod)
+}
+
+func utilisationOf(budget, cyclesPerPeriod int64) float64 {
 	if budget <= 0 {
 		return 2 // a tile with no clock can host nothing
 	}

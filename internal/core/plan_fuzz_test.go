@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"rtsm/internal/arch"
+	"rtsm/internal/workload"
+)
+
+// FuzzPlanReservations throws randomized mappings at the commit-plan
+// aggregation (planReservations, the source of truth for what a mapping
+// reserves) and checks its double-entry bookkeeping:
+//
+//   - committing the plan changes the platform's residual by exactly the
+//     per-resource sums recomputed independently from the mapping —
+//     implementation memory plus stream buffers, utilisation, occupancy,
+//     NI bandwidth and link lanes;
+//   - every resource the commit changed lies inside the plan's region
+//     footprint (the locks a sharded commit holds are sufficient), and
+//     the footprint never names a region the mapping touches no resource
+//     in (the locks are also necessary);
+//   - releasing the plan restores the residual bit-for-bit.
+func FuzzPlanReservations(f *testing.F) {
+	f.Add(int64(1), 6, 3, 0, true)
+	f.Add(int64(123), 8, 5, 4, true)
+	f.Add(int64(7), 4, 2, 2, false) // single region: degenerate footprint
+	f.Add(int64(42), 6, 4, 7, true) // loaded platform: nonzero base state
+	f.Fuzz(func(t *testing.T, seed int64, mesh, procs, competitors int, regioned bool) {
+		mesh = 4 + abs(mesh)%5   // 4..8
+		procs = 2 + abs(procs)%4 // 2..5
+		competitors = abs(competitors) % 8
+		plat := workload.SyntheticPlatform(mesh, mesh, seed)
+		if regioned {
+			plat = workload.SyntheticRegionPlatform(mesh, mesh, seed, (mesh+1)/2)
+		}
+		// Vary the base residual: competing admissions stay committed, so
+		// the plan under test aggregates against a loaded ledger.
+		for i := 0; i < competitors; i++ {
+			capp, clib := workload.Synthetic(workload.SynthOptions{
+				Shape: workload.ShapeChain, Processes: 2 + i%3, Seed: seed + int64(i) + 1,
+				MaxUtil: 0.15, PeriodNs: 40_000, SrcTile: "SRC0", SinkTile: "SINK0",
+			})
+			capp.Name = fmt.Sprintf("competitor-%d", i)
+			cres, cerr := (&Mapper{Lib: clib}).Map(capp, plat)
+			if cerr != nil || !cres.Feasible {
+				continue
+			}
+			_ = Apply(plat, cres)
+		}
+
+		app, lib := workload.Synthetic(workload.SynthOptions{
+			Shape: workload.ShapeChain, Processes: procs, Seed: seed,
+			MaxUtil: 0.2, PeriodNs: 40_000, SrcTile: "SRC0", SinkTile: "SINK0",
+		})
+		app.Name = "plan-fuzz"
+		res, err := (&Mapper{Lib: lib}).Map(app, plat)
+		if err != nil || !res.Feasible {
+			t.Skip("fixture not mappable with this geometry")
+		}
+		plan, err := NewPlan(plat, res)
+		if err != nil {
+			t.Fatalf("NewPlan on a feasible mapping: %v", err)
+		}
+
+		footprint := plan.Regions()
+		for i := 1; i < len(footprint); i++ {
+			if footprint[i] <= footprint[i-1] {
+				t.Fatalf("footprint not ascending unique: %v", footprint)
+			}
+		}
+		inFootprint := make(map[arch.RegionID]bool, len(footprint))
+		for _, r := range footprint {
+			inFootprint[r] = true
+		}
+
+		// The independent oracle: re-derive every reservation straight
+		// from the mapping, without the plan's aggregation.
+		mp := res.Mapping
+		type tileSum struct {
+			mem, in, out int64
+			util         float64
+			occ          int
+		}
+		tiles := make(map[arch.TileID]*tileSum)
+		at := func(tid arch.TileID) *tileSum {
+			s := tiles[tid]
+			if s == nil {
+				s = &tileSum{}
+				tiles[tid] = s
+			}
+			return s
+		}
+		links := make(map[arch.LinkID]int64)
+		for _, p := range app.MappableProcesses() {
+			im := mp.Impl[p.ID]
+			tid, ok := mp.Tile[p.ID]
+			if im == nil || !ok {
+				continue
+			}
+			cyc, cerr := im.CyclesPerPeriod(app, p)
+			if cerr != nil {
+				continue
+			}
+			s := at(tid)
+			s.mem += im.MemBytes
+			s.util += utilisationOf(plat.TileCycleBudget(tid, app.QoS.PeriodNs), cyc)
+			s.occ++
+		}
+		for _, c := range app.StreamChannels() {
+			path, ok := mp.Route[c.ID]
+			if !ok {
+				continue
+			}
+			bps := channelBps(c, app.QoS.PeriodNs)
+			for _, lid := range path.Links {
+				links[lid] += bps
+			}
+			if path.Hops() > 0 {
+				at(mp.Tile[c.Src]).out += bps
+				at(mp.Tile[c.Dst]).in += bps
+			}
+			if buf := mp.Buffers[c.ID]; buf > 0 {
+				at(mp.Tile[c.Dst]).mem += buf * c.TokenBytes
+			}
+		}
+
+		before := plat.Residual()
+		plan.Commit(plat)
+		after := plat.Residual()
+		diff := before.Diff(after)
+
+		// Sufficiency: nothing outside the footprint changed.
+		for _, r := range diff.Regions(plat) {
+			if !inFootprint[r] {
+				t.Fatalf("commit changed region %d outside footprint %v", r, footprint)
+			}
+		}
+		// Necessity: every footprint region owns a reserved resource.
+		touched := make(map[arch.RegionID]bool)
+		for tid := range tiles {
+			touched[plat.RegionOfTile(tid)] = true
+		}
+		for lid := range links {
+			touched[plat.RegionOfLink(lid)] = true
+		}
+		for _, r := range footprint {
+			if !touched[r] {
+				t.Fatalf("footprint names region %d but the mapping reserves nothing there", r)
+			}
+		}
+
+		// The plan's committed deltas equal the oracle's sums.
+		const utilTol = 1e-6
+		for i := range before.Tiles {
+			b, a := before.Tiles[i], after.Tiles[i]
+			want := tiles[b.Tile]
+			if want == nil {
+				want = &tileSum{}
+			}
+			if b.FreeMemBytes-a.FreeMemBytes != want.mem {
+				t.Fatalf("tile %d memory delta %d, oracle %d", b.Tile, b.FreeMemBytes-a.FreeMemBytes, want.mem)
+			}
+			if d := (b.FreeUtil - a.FreeUtil) - want.util; d > utilTol || d < -utilTol {
+				t.Fatalf("tile %d util delta %v, oracle %v", b.Tile, b.FreeUtil-a.FreeUtil, want.util)
+			}
+			if b.FreeInBps-a.FreeInBps != want.in || b.FreeOutBps-a.FreeOutBps != want.out {
+				t.Fatalf("tile %d NI delta in=%d out=%d, oracle in=%d out=%d",
+					b.Tile, b.FreeInBps-a.FreeInBps, b.FreeOutBps-a.FreeOutBps, want.in, want.out)
+			}
+			if b.FreeSlots >= 0 && a.FreeSlots >= 0 && b.FreeSlots-a.FreeSlots != want.occ {
+				t.Fatalf("tile %d slot delta %d, oracle %d", b.Tile, b.FreeSlots-a.FreeSlots, want.occ)
+			}
+		}
+		for i := range before.Links {
+			b, a := before.Links[i], after.Links[i]
+			if b.FreeBps-a.FreeBps != links[b.Link] {
+				t.Fatalf("link %d delta %d, oracle %d", b.Link, b.FreeBps-a.FreeBps, links[b.Link])
+			}
+		}
+
+		// Release is the exact inverse.
+		plan.Release(plat)
+		if got := plat.Residual(); !got.Equal(before) {
+			t.Fatal("release did not restore the residual bit-for-bit")
+		}
+	})
+}

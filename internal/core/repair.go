@@ -71,7 +71,7 @@ func (s *seedMapping) install(app *model.Application, work *arch.Platform, mp *M
 	for pid, im := range s.impl {
 		p := app.Process(pid)
 		tid := s.tile[pid]
-		t := work.Tile(tid)
+		t := work.WTile(tid)
 		cyc, err := im.CyclesPerPeriod(app, p)
 		if err != nil {
 			return fmt.Errorf("core: seeded implementation of %q no longer matches: %w", p.Name, err)
@@ -379,9 +379,12 @@ func (m *Mapper) Repair(res *Result, snap *arch.Snapshot) (*Result, error) {
 // HypotheticalEviction releases the victims' reservations on a snapshot's
 // working platform, producing the post-eviction residual a preemption
 // planner speculatively maps a high-priority arrival against. Only the
-// snapshot's deep copy is mutated — the live platform is untouched and no
-// lock is needed — so the caller can probe "would the arrival fit if these
-// victims left?" as cheaply as any other speculative mapping.
+// snapshot's private platform is mutated — the live platform is untouched
+// and no lock is needed — so the caller can probe "would the arrival fit
+// if these victims left?" as cheaply as any other speculative mapping.
+// The snapshot must be writable: pass a deep snapshot or derive one from
+// a frozen copy-on-write snapshot with Snapshot.Writable first (mutating
+// a frozen epoch snapshot shared with other admissions panics).
 func HypotheticalEviction(snap *arch.Snapshot, victims ...*Result) {
 	for _, v := range victims {
 		Remove(snap.Plat, v)

@@ -65,9 +65,13 @@ func (m *Mapper) step1(app *model.Application, work *arch.Platform, mp *Mapping,
 		}
 		p := unassigned[pick.idx]
 		opt := pick.best
-		opt.tile.ReservedMem += opt.im.MemBytes
-		opt.tile.ReservedUtil += opt.util
-		opt.tile.Occupants++
+		// Write through the CoW barrier: on a copy-on-write working
+		// platform the tile's region is faulted in first, so the shared
+		// snapshot structs the option was scored against stay untouched.
+		wt := work.WTile(opt.tile.ID)
+		wt.ReservedMem += opt.im.MemBytes
+		wt.ReservedUtil += opt.util
+		wt.Occupants++
 		mp.Impl[p.ID] = opt.im
 		mp.Tile[p.ID] = opt.tile.ID
 		tr.Step1 = append(tr.Step1, Step1Record{

@@ -374,7 +374,7 @@ func (m *Mapper) reserveBuffers(app *model.Application, work *arch.Platform, mp 
 			}
 		}
 		if t.MemBytes > 0 {
-			t.ReservedMem += need
+			work.WTile(tid).ReservedMem += need
 		}
 	}
 	return nil

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rtsm/internal/arch"
@@ -138,6 +139,18 @@ type Stats struct {
 	// back to the full four-step map (repair disabled, refused or
 	// infeasible).
 	FullRemaps uint64
+	// Snapshots counts base snapshots actually captured for admissions
+	// and their retries; SnapshotsShared counts admissions served from an
+	// already-captured epoch snapshot instead of taking their own (see
+	// SetEpochSnapshots). Their sum is the number of snapshot
+	// acquisitions the admission path performed.
+	Snapshots       uint64
+	SnapshotsShared uint64
+	// CoWFaults counts regions faulted in by the copy-on-write engine —
+	// private region copies made on first write, on the live platform
+	// and on every snapshot and working clone derived from it. With
+	// copy-on-write disabled it stays zero.
+	CoWFaults uint64
 	// Preemptions counts lower-priority victims displaced so a
 	// higher-priority arrival could be admitted on a full mesh. Every
 	// preempted victim ends up in exactly one of Relocations (kept
@@ -197,20 +210,32 @@ func (s Stats) RepairRate() (float64, bool) {
 // Manager owns a platform and the set of admitted applications. All
 // methods are safe for concurrent use.
 //
-// Two lock families guard the manager's state, never nested:
+// Three lock families guard the manager's state, acquired in at most the
+// order epochMu → mu, and never while holding a region lock:
 //
 //   - locks, one mutex per mesh region, serialize the platform's
 //     reservation state. A commit or release holds exactly the regions
-//     its plan touches; whole-platform reads (Snapshot, Residual, Load,
-//     CheckInvariants) hold all of them.
+//     its plan touches; whole-platform reads (Residual, Load,
+//     CheckInvariants, deep snapshots) hold all of them, while the
+//     copy-on-write snapshot capture visits one region lock at a time.
 //   - mu serializes the admission bookkeeping: the running and pending
-//     sets, the sequence counter and the statistics.
+//     sets, the sequence counter, the configuration flags and the
+//     statistics.
+//   - epochMu serializes the shared epoch snapshot (see epoch.go).
 type Manager struct {
 	cfg core.Config
 
 	// locks shards the platform's reservation state by region; sized
 	// from the platform's partition at construction.
 	locks *arch.RegionLocks
+
+	// faults counts copy-on-write region faults platform-wide; the
+	// platform and all its snapshots and clones share this meter.
+	faults atomic.Uint64
+
+	// epochMu guards the shared epoch snapshot of epoch.go.
+	epochMu   sync.Mutex
+	epochSnap *arch.Snapshot
 
 	mu      sync.Mutex
 	plat    *arch.Platform
@@ -227,6 +252,9 @@ type Manager struct {
 	templates  *templateCache // nil = mapping reuse disabled
 	repair     bool           // repair stale mappings instead of re-mapping
 	preemption bool           // displace lower classes for full-mesh arrivals
+	cow        bool           // copy-on-write snapshots instead of deep copies
+	epochShare bool           // admissions share epoch snapshots
+	epochLag   uint64         // staleness budget of a shared epoch snapshot
 }
 
 // New returns a manager over the given platform. The platform is owned by
@@ -236,7 +264,7 @@ type Manager struct {
 // over — the lock set is sized from RegionCount here, and repartitioning
 // a managed platform would break the region↔lock correspondence.
 func New(plat *arch.Platform, cfg core.Config) *Manager {
-	return &Manager{
+	m := &Manager{
 		plat:       plat,
 		cfg:        cfg,
 		locks:      arch.NewRegionLocks(plat.RegionCount()),
@@ -246,7 +274,49 @@ func New(plat *arch.Platform, cfg core.Config) *Manager {
 		maxRetries: DefaultMaxRetries,
 		repair:     true,
 		preemption: true,
+		cow:        true,
+		epochShare: true,
+		epochLag:   DefaultEpochLag,
 	}
+	plat.SetCoWFaultMeter(&m.faults)
+	return m
+}
+
+// SetCoWSnapshots selects how the admission path snapshots the platform.
+// When on (the default), snapshots are copy-on-write: the capture shares
+// the platform's per-tile and per-link reservation structs and the live
+// platform faults in private region copies as later commits write — cost
+// O(regions) per snapshot plus O(footprint) per commit, instead of a
+// deep copy of the whole mesh under every region lock. When off, every
+// snapshot is the classic deep copy taken under all region locks (and
+// epoch sharing is ineffective, since deep snapshots cannot be shared).
+func (m *Manager) SetCoWSnapshots(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cow = on
+}
+
+// SetEpochSnapshots enables or disables epoch sharing of copy-on-write
+// snapshots: when on (the default, effective only with CoW snapshots),
+// concurrent admissions within one epoch map against a single frozen
+// base snapshot instead of each capturing their own, and the epoch rolls
+// once the live platform has moved more than SetEpochLag commits past
+// the base. Commit-time validation catches the staleness sharing
+// introduces, exactly as it catches snapshot races.
+func (m *Manager) SetEpochSnapshots(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.epochShare = on
+}
+
+// SetEpochLag sets how many committed reservation changes an epoch
+// snapshot may trail the live platform by before a new admission rolls
+// the epoch instead of sharing it (0 = share only while nothing
+// committed since the capture).
+func (m *Manager) SetEpochLag(n uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.epochLag = n
 }
 
 // SetPreemption enables or disables the preemption planner. When on (the
@@ -302,12 +372,16 @@ func (m *Manager) SetMappingReuse(on bool) {
 // Residual instead.
 func (m *Manager) Platform() *arch.Platform { return m.plat }
 
-// Snapshot returns a point-in-time deep copy of the managed platform,
-// taken under all region locks so the copy is consistent across regions.
+// Snapshot returns a point-in-time snapshot of the managed platform.
+// With copy-on-write snapshots enabled (the default) the capture
+// coordinates per region — no caller and no commit ever waits on all
+// region locks at once — and the returned snapshot is frozen: treat its
+// Plat as read-only, and derive arch.Snapshot.Writable before mutating.
+// With CoW disabled it is a deep copy taken under all region locks,
+// owned outright by the caller.
 func (m *Manager) Snapshot() *arch.Snapshot {
-	m.locks.LockAll()
-	defer m.locks.UnlockAll()
-	return m.plat.Snapshot()
+	cow, _, _ := m.snapshotMode()
+	return m.captureSnapshot(cow)
 }
 
 // Residual returns the platform's current free-capacity view, read under
@@ -322,7 +396,9 @@ func (m *Manager) Residual() arch.Residual {
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.stats
+	st := m.stats
+	st.CoWFaults = m.faults.Load()
+	return st
 }
 
 // Start maps the application against the current platform state and
@@ -420,15 +496,16 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 	if tc != nil {
 		if f, err := Fingerprint(app, lib); err == nil {
 			fp = f
-			if pool := tc.get(fp); len(pool) > 0 {
+			if pool, start := tc.get(fp); len(pool) > 0 {
 				commitStart := time.Now()
 				// Each failed validation already computed the template's
 				// violation list; remember the least-conflicted template —
 				// fewest conflicted regions, then fewest violations — as
 				// the cheapest one to repair.
-				leastConflicted := pool[0]
+				leastConflicted := pool[start]
 				leastRegions, leastViolations := -1, -1
-				for _, tpl := range pool {
+				for k := 0; k < len(pool); k++ {
+					tpl := pool[(start+k)%len(pool)]
 					plan, perr := core.NewPlan(m.plat, tpl)
 					if perr != nil {
 						continue
@@ -467,7 +544,7 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 				m.mu.Lock()
 				m.stats.StaleTemplates++
 				m.mu.Unlock()
-				snap = m.Snapshot()
+				snap = m.freshSnapshot()
 				out.Commit += time.Since(commitStart)
 				trigger = triggerTemplate
 				if repairOn {
@@ -478,7 +555,7 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 	}
 
 	if snap == nil {
-		snap = m.Snapshot()
+		snap = m.baseSnapshot()
 	}
 
 	// Counters accumulated outside the locks, folded into Stats at the
@@ -544,7 +621,7 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 			// version counter is atomic, so the staleness probe needs no
 			// lock.
 			if m.plat.Version() != snap.Version && out.Attempts <= maxRetries {
-				snap = m.Snapshot()
+				snap = m.freshSnapshot()
 				out.Commit += time.Since(commitStart)
 				trigger = triggerNone
 				continue
@@ -623,7 +700,7 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 				// snapshot and commit: repair the mapping we just
 				// computed against fresh state (or re-map from scratch
 				// when repair is off).
-				snap = m.Snapshot()
+				snap = m.freshSnapshot()
 				out.Commit += time.Since(commitStart)
 				trigger = triggerConflict
 				if repairOn {

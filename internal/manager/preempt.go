@@ -96,7 +96,10 @@ func (m *Manager) pruneVictims(victims []*Admission, res *core.Result) []*Admiss
 	}
 	needed := victims
 	for i := 0; i < len(needed); {
-		probe := m.Snapshot()
+		// Writable: the hypothetical evictions below mutate the probe,
+		// which a frozen CoW snapshot forbids — the writable child still
+		// shares every untouched region with the capture.
+		probe := m.Snapshot().Writable()
 		for j, v := range needed {
 			if j != i {
 				core.HypotheticalEviction(probe, v.Result)
@@ -134,7 +137,7 @@ func (m *Manager) preemptAdmit(out *Outcome, app *model.Application, lib *model.
 	// admission, so the read is race-free; a candidate that turns out
 	// not to overlap the target regions is unclaimed straight away.
 	mapStart := time.Now()
-	snap := m.Snapshot()
+	snap := m.Snapshot().Writable()
 	var victims []*Admission
 	var res *core.Result
 	for _, cand := range cands {

@@ -123,6 +123,7 @@ func TestPreemptionInRegionADoesNotBlockRegionB(t *testing.T) {
 	}
 
 	stormDone := make(chan struct{})
+	stormPreempting := make(chan struct{}) // closed after the first preemption
 	stop := make(chan struct{})
 	var stormAdmitted, stormPreempted int
 	go func() {
@@ -137,7 +138,13 @@ func TestPreemptionInRegionADoesNotBlockRegionB(t *testing.T) {
 			out := m.Admit(app, lib)
 			if out.Admitted {
 				stormAdmitted++
-				stormPreempted += len(out.Preempted)
+				if stormPreempted += len(out.Preempted); stormPreempted > 0 {
+					select {
+					case <-stormPreempting:
+					default:
+						close(stormPreempting)
+					}
+				}
 				if err := m.Stop(app.Name); err != nil && !errors.Is(err, ErrRelocating) {
 					t.Errorf("storm stop %s: %v", app.Name, err)
 					return
@@ -146,9 +153,18 @@ func TestPreemptionInRegionADoesNotBlockRegionB(t *testing.T) {
 		}
 	}()
 
-	// The region-3 churn quota, run while the storm is live.
+	// Wait for the storm to provably preempt before starting the quota:
+	// on a single-CPU host the scheduler may otherwise run the whole
+	// quota before ever picking the storm goroutine up, and the test
+	// would measure nothing. (The admission path getting faster is what
+	// exposed this — the quota used to be slow enough to lose the race.)
 	const quota = 40
 	deadline := time.After(60 * time.Second)
+	select {
+	case <-stormPreempting:
+	case <-deadline:
+		t.Fatal("preemption storm never preempted; fixture broken")
+	}
 	for i := 0; i < quota; i++ {
 		done := make(chan Outcome, 1)
 		go func(i int) {

@@ -80,22 +80,23 @@ func newTemplateCache() *templateCache {
 	}
 }
 
-// get returns the pool for a fingerprint, rotated so successive callers
-// start from different templates. The returned slice must not be
-// modified.
-func (c *templateCache) get(fp string) []*core.Result {
+// get returns the pool for a fingerprint and the index to start trying
+// templates from; successive callers get successive start indices, so
+// concurrent instances of the same structure spread over tiles instead
+// of all contending for the first template's. Callers iterate the pool
+// as pool[(start+k) % len(pool)] for k = 0..len-1. The returned slice is
+// the cache's own copy-on-write header: it must not be modified, and
+// handing it out allocation-free is what keeps a warm template hit off
+// the heap entirely (pinned by BenchmarkTemplateGet).
+func (c *templateCache) get(fp string) (pool []*core.Result, start int) {
 	c.mu.RLock()
-	pool := c.m[fp]
+	pool = c.m[fp]
 	ctr := c.next[fp]
 	c.mu.RUnlock()
 	if len(pool) <= 1 {
-		return pool
+		return pool, 0
 	}
-	start := int(atomic.AddUint64(ctr, 1)) % len(pool)
-	rotated := make([]*core.Result, 0, len(pool))
-	rotated = append(rotated, pool[start:]...)
-	rotated = append(rotated, pool[:start]...)
-	return rotated
+	return pool, int(atomic.AddUint64(ctr, 1) % uint64(len(pool)))
 }
 
 // put adds a mapping to the fingerprint's pool unless an identically

@@ -33,8 +33,9 @@ func TestTemplateCachePoolEvictionRace(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 8*templatePoolSize; i++ {
-				for _, res := range tc.get(fp) {
-					if res == nil || res.Mapping == nil {
+				pool, start := tc.get(fp)
+				for k := 0; k < len(pool); k++ {
+					if res := pool[(start+k)%len(pool)]; res == nil || res.Mapping == nil {
 						t.Error("torn pool entry observed")
 						return
 					}
@@ -43,7 +44,7 @@ func TestTemplateCachePoolEvictionRace(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if got := len(tc.get(fp)); got != templatePoolSize {
-		t.Fatalf("pool size = %d, want %d after saturation", got, templatePoolSize)
+	if pool, _ := tc.get(fp); len(pool) != templatePoolSize {
+		t.Fatalf("pool size = %d, want %d after saturation", len(pool), templatePoolSize)
 	}
 }
