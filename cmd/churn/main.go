@@ -18,6 +18,7 @@
 //	go run ./cmd/churn -priomix 70:20:10 -preempt=false  # priority queue only
 //	go run ./cmd/churn -cow=false            # per-admission deep-copy snapshots
 //	go run ./cmd/churn -epoch=false          # CoW snapshots, no epoch sharing
+//	go run ./cmd/churn -regionsize 4 -batch 8  # merged multi-application commits
 package main
 
 import (
@@ -47,6 +48,7 @@ var (
 	repair    = flag.Bool("repair", true, "repair stale mappings instead of re-mapping from scratch")
 	cow       = flag.Bool("cow", true, "copy-on-write snapshots (off = per-admission deep copies, the snapshot ablation)")
 	epoch     = flag.Bool("epoch", true, "share one frozen base snapshot per pipeline epoch (needs -cow)")
+	batch     = flag.Int("batch", 0, "drain up to K queued arrivals into one merged multi-application commit (<=1 = per-item admission)")
 	priomix   = flag.String("priomix", "", "mixed admission classes as bestEffort:standard:critical weights, e.g. 70:20:10 (empty = all best-effort)")
 	preempt   = flag.Bool("preempt", true, "let full-mesh priority arrivals preempt lower classes (relocation before eviction)")
 	retries   = flag.Int("retries", manager.DefaultMaxRetries, "max re-mapping rounds per arrival")
@@ -70,6 +72,7 @@ func options() churn.Options {
 		Repair:     *repair,
 		CoW:        *cow,
 		Epoch:      *epoch,
+		Batch:      *batch,
 		PrioMix:    *priomix,
 		Preempt:    *preempt,
 		Retries:    *retries,
@@ -94,6 +97,11 @@ func report(label string, r churn.Result) {
 	if acq := st.Snapshots + st.SnapshotsShared; acq > 0 {
 		fmt.Printf("  snapshots         %d captured, %d shared from an epoch (%.1f%%), %d CoW region faults\n",
 			st.Snapshots, st.SnapshotsShared, 100*float64(st.SnapshotsShared)/float64(acq), st.CoWFaults)
+	}
+	if st.Batches > 0 || st.BatchedAdmissions > 0 || st.BatchSpills > 0 || st.BatchFallbacks > 0 {
+		fmt.Printf("  batched admission %d merged commits, %d of %d admissions batched (%.1f%%), %d spill commits, %d fallbacks to per-item\n",
+			st.Batches, st.BatchedAdmissions, st.Admitted,
+			100*float64(st.BatchedAdmissions)/float64(max(st.Admitted, 1)), st.BatchSpills, st.BatchFallbacks)
 	}
 	if rate, ok := st.RepairRate(); ok {
 		fmt.Printf("  repair rate       %.1f%%\n", 100*rate)
@@ -128,8 +136,31 @@ func report(label string, r churn.Result) {
 	}
 }
 
+// validateFlags fails fast on flag combinations that would silently run
+// a different scenario than the one asked for, instead of surfacing as a
+// confusing report later. Defaults never trip it: only explicitly set
+// flags are held against each other.
+func validateFlags() error {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *batch < 0 {
+		return fmt.Errorf("churn: -batch %d is negative (use 0 or 1 for per-item admission)", *batch)
+	}
+	if set["globallock"] && *globalOne && *regions <= 0 {
+		return fmt.Errorf("churn: -globallock is the sharding ablation of -regionsize; give -regionsize a positive value")
+	}
+	if set["epoch"] && *epoch && set["cow"] && !*cow {
+		return fmt.Errorf("churn: -epoch needs -cow; epoch sharing only works on copy-on-write snapshots")
+	}
+	return nil
+}
+
 func main() {
 	flag.Parse()
+	if err := validateFlags(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	opts := options()
 	if _, err := churn.ParsePrioMix(opts.PrioMix); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -70,6 +70,14 @@ type Options struct {
 	// Epoch lets concurrent admissions share one frozen base snapshot
 	// per pipeline epoch (only meaningful with CoW on).
 	Epoch bool
+	// Batch lets a pipeline worker drain up to this many queued arrivals
+	// into one batched admission round: one shared base snapshot,
+	// speculative mapping per arrival, and a single multi-application
+	// commit of the arrivals whose plans land in disjoint regions
+	// (overlaps fall back to per-item commits; the effective drain size
+	// adapts to the observed conflict rate). ≤ 1 keeps the per-item
+	// pipeline. Negative is a configuration error.
+	Batch int
 	// PrioMix assigns admission classes to arrivals as
 	// "bestEffort:standard:critical" integer weights, e.g. "70:20:10".
 	// Arrival i's class is drawn deterministically from the weights by
@@ -111,6 +119,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Queue <= 0 {
 		o.Queue = o.Workers
+		if o.Batch > 1 {
+			// Batches only form when the queue can hold them; give each
+			// worker a full drain's worth of slots by default.
+			o.Queue = o.Workers * o.Batch
+		}
 	}
 	if o.Resident <= 0 {
 		o.Resident = 2 * o.Workers
@@ -247,6 +260,9 @@ func Run(o Options) Result {
 	if werr != nil {
 		return Result{ConfigErr: werr}
 	}
+	if o.Batch < 0 {
+		return Result{ConfigErr: fmt.Errorf("churn: batch size %d is negative", o.Batch)}
+	}
 	var plat *arch.Platform
 	endpointRegions := 1
 	if o.RegionSize > 0 {
@@ -270,6 +286,9 @@ func Run(o Options) Result {
 	m.SetEpochSnapshots(o.Epoch)
 	m.SetMaxRetries(o.Retries)
 	pipe := manager.NewPipeline(m, o.Workers, o.Queue)
+	if o.Batch > 1 {
+		pipe.SetBatch(o.Batch)
+	}
 
 	stopErr := func(name string, err error) {
 		if o.ErrWriter != nil {

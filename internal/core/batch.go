@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"rtsm/internal/arch"
+)
+
+// Batched commit: the admission pipeline drains several queued arrivals
+// per epoch, maps them speculatively against one shared base snapshot and
+// wants to commit all of them in a single pass under one lock
+// acquisition. That is sound exactly when the plans' region footprints
+// are pairwise disjoint: every tile and link belongs to exactly one
+// region, so disjoint region footprints mean disjoint resource sets —
+// the plans cannot consume each other's capacity, each one's validation
+// is independent of the others, and applying them in any order yields
+// the same ledger as applying them one at a time. BatchPlan packages
+// that argument: Add refuses an overlapping plan, so holding a BatchPlan
+// is holding the proof that its members are mergeable.
+
+// BatchPlan is a set of reservation plans with pairwise-disjoint region
+// footprints, committable as one multi-application transaction under the
+// union of their region locks. Build one with MergePlans (or
+// incrementally with Add), then take the union footprint's locks
+// (Regions) and run Validate/Commit — or validate members individually
+// via Violating and commit the surviving subset plan by plan, which is
+// ledger-identical because the members touch disjoint resources.
+type BatchPlan struct {
+	plans   []*Plan
+	regions []arch.RegionID // union footprint, ascending unique
+}
+
+// MergePlans merges plans whose region footprints are pairwise disjoint
+// into a single BatchPlan. It returns an error naming the first plan
+// whose footprint overlaps the union of those before it; the manager's
+// batched admission path uses Add directly so an overlapping plan can
+// fall back to a per-item commit instead of failing the whole batch.
+func MergePlans(plans ...*Plan) (*BatchPlan, error) {
+	b := &BatchPlan{}
+	for _, p := range plans {
+		if err := b.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// Add merges one more plan into the batch, refusing it (with no change
+// to the batch) when its footprint overlaps a member's.
+func (b *BatchPlan) Add(p *Plan) error {
+	if p.Overlaps(b.regions) {
+		return fmt.Errorf("core: plan %q overlaps the batch footprint", p.App())
+	}
+	b.plans = append(b.plans, p)
+	b.regions = mergeDisjointRegions(b.regions, p.Regions())
+	return nil
+}
+
+// Len returns the number of member plans.
+func (b *BatchPlan) Len() int { return len(b.plans) }
+
+// Plans returns the member plans in Add order. The slice is owned by the
+// batch; do not modify it.
+func (b *BatchPlan) Plans() []*Plan { return b.plans }
+
+// Regions returns the union region footprint of all members, ascending
+// without duplicates: exactly the locks a batched Validate/Commit needs.
+// The returned slice is owned by the batch; do not modify it.
+func (b *BatchPlan) Regions() []arch.RegionID { return b.regions }
+
+// Violating validates every member plan against the platform's live
+// residual capacity and returns the indices (in Add order) of those that
+// no longer fit. Because member footprints are disjoint the checks are
+// independent: a member missing from the result can be committed even
+// when others violate. The caller must hold the union footprint's region
+// locks.
+func (b *BatchPlan) Violating(plat *arch.Platform) []int {
+	var out []int
+	for i, p := range b.plans {
+		if len(p.pl.violations(plat)) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// BatchConflictError reports which members of a batch failed validation,
+// pairing each failing member's index (in Add order) with its per-plan
+// ConflictError.
+type BatchConflictError struct {
+	// Indices are the failing members' positions, ascending.
+	Indices []int
+	// Errs holds the per-member conflict reports, parallel to Indices.
+	Errs []*ConflictError
+}
+
+// Error summarises how many members failed and the first member's report.
+func (e *BatchConflictError) Error() string {
+	if len(e.Errs) == 0 {
+		return "core: batch conflict with no members recorded"
+	}
+	return fmt.Sprintf("core: %d of batch failed validation: %s", len(e.Indices), e.Errs[0].Error())
+}
+
+// Validate checks every member against the platform and returns nil when
+// the whole batch can commit, or a *BatchConflictError listing every
+// failing member. The caller must hold the union footprint's region
+// locks.
+func (b *BatchPlan) Validate(plat *arch.Platform) error {
+	var be *BatchConflictError
+	for i, p := range b.plans {
+		if vs := p.pl.violations(plat); len(vs) > 0 {
+			if be == nil {
+				be = &BatchConflictError{}
+			}
+			be.Indices = append(be.Indices, i)
+			be.Errs = append(be.Errs, &ConflictError{
+				App: p.App(), Violations: vs, Regions: conflictRegions(vs)})
+		}
+	}
+	if be != nil {
+		return be
+	}
+	return nil
+}
+
+// Commit applies every member plan in Add order. The caller must hold
+// the union footprint's region locks and have seen Validate succeed
+// under them. Because members touch disjoint resources, the resulting
+// ledger is bit-identical to committing the same plans sequentially,
+// each under its own locks (the property batch_test.go pins).
+func (b *BatchPlan) Commit(plat *arch.Platform) {
+	for _, p := range b.plans {
+		p.pl.commit(plat, +1)
+	}
+}
+
+// Release subtracts every member plan's reservations, undoing Commit.
+// The caller must hold the union footprint's region locks.
+func (b *BatchPlan) Release(plat *arch.Platform) {
+	for _, p := range b.plans {
+		p.pl.commit(plat, -1)
+	}
+}
+
+// mergeDisjointRegions merges two ascending unique region lists known to
+// share no element into one ascending unique list.
+func mergeDisjointRegions(a, b []arch.RegionID) []arch.RegionID {
+	out := make([]arch.RegionID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

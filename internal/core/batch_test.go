@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rtsm/internal/arch"
+	"rtsm/internal/workload"
+)
+
+// disjointResults maps one region-pinned chain per quadrant of a sharded
+// platform and returns the mappings whose plans have pairwise-disjoint
+// footprints (greedily skipping any that spill into an already-claimed
+// region — routing near region borders may cross them).
+func disjointResults(t *testing.T, plat *arch.Platform, seed int64) []*Result {
+	t.Helper()
+	var out []*Result
+	claimed := make(arch.RegionSet)
+	for r := 0; r < plat.RegionCount(); r++ {
+		// The mapper optimizes globally and may scatter compute tiles
+		// outside the pinned quadrant; retry a few seeds until this
+		// region's mapping stays clear of the regions claimed so far.
+		for k := int64(0); k < 8; k++ {
+			res := mapOnto(t, plat, seed+int64(r)*8+k, fmt.Sprintf("SRC%d", r), fmt.Sprintf("SINK%d", r))
+			plan, err := NewPlan(plat, res)
+			if err != nil {
+				t.Fatalf("plan for region %d: %v", r, err)
+			}
+			if plan.Overlaps(claimed.Sorted()) {
+				continue
+			}
+			out = append(out, res)
+			for _, fr := range plan.Regions() {
+				claimed.Add(fr)
+			}
+			break
+		}
+	}
+	if len(out) < 2 {
+		t.Fatalf("fixture produced %d disjoint mappings, need at least 2", len(out))
+	}
+	return out
+}
+
+// plansFor rebuilds the reservation plans of the given mappings against
+// one platform, as independent admissions would.
+func plansFor(t *testing.T, plat *arch.Platform, results []*Result) []*Plan {
+	t.Helper()
+	plans := make([]*Plan, len(results))
+	for i, res := range results {
+		p, err := NewPlan(plat, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[i] = p
+	}
+	return plans
+}
+
+// TestMergePlansRefusesOverlap pins the merge rule: two plans pinned to
+// the same quadrant overlap and cannot share a batch.
+func TestMergePlansRefusesOverlap(t *testing.T) {
+	plat := workload.SyntheticRegionPlatform(8, 8, 123, 4)
+	a := mapOnto(t, plat, 1, "SRC0", "SINK0")
+	b := mapOnto(t, plat, 2, "SRC0", "SINK0")
+	pa, err := NewPlan(plat, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := NewPlan(plat, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergePlans(pa, pb); err == nil {
+		t.Fatal("MergePlans accepted two plans pinned to the same region")
+	}
+	if _, err := MergePlans(pa); err != nil {
+		t.Fatalf("single-plan merge failed: %v", err)
+	}
+}
+
+// TestBatchCommitMatchesSequential is the batched-commit equivalence
+// property: committing N disjoint plans through one BatchPlan leaves the
+// platform bit-identical — residual capacity, global version and every
+// per-region version — to committing the same plans one at a time, in
+// any order. Randomized over seeds and over the sequential order, so the
+// disjointness argument ("order cannot matter") is actually exercised.
+func TestBatchCommitMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		plat := workload.SyntheticRegionPlatform(8, 8, 123, 4)
+		seq := workload.SyntheticRegionPlatform(8, 8, 123, 4)
+		results := disjointResults(t, plat, seed*100)
+		plans := plansFor(t, plat, results)
+		seqPlans := plansFor(t, seq, results)
+
+		batch, err := MergePlans(plans...)
+		if err != nil {
+			t.Fatalf("seed %d: merge: %v", seed, err)
+		}
+		if err := batch.Validate(plat); err != nil {
+			t.Fatalf("seed %d: batch validate on fresh platform: %v", seed, err)
+		}
+		batch.Commit(plat)
+
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(seqPlans), func(i, j int) {
+			seqPlans[i], seqPlans[j] = seqPlans[j], seqPlans[i]
+		})
+		for _, p := range seqPlans {
+			if err := p.Validate(seq); err != nil {
+				t.Fatalf("seed %d: sequential validate: %v", seed, err)
+			}
+			p.Commit(seq)
+		}
+
+		if !plat.Residual().Equal(seq.Residual()) {
+			t.Fatalf("seed %d: batched and sequential residuals differ", seed)
+		}
+		if plat.Version() != seq.Version() {
+			t.Fatalf("seed %d: global version differs: batch %d, sequential %d",
+				seed, plat.Version(), seq.Version())
+		}
+		for r := 0; r < plat.RegionCount(); r++ {
+			if plat.RegionVersion(arch.RegionID(r)) != seq.RegionVersion(arch.RegionID(r)) {
+				t.Fatalf("seed %d: region %d version differs", seed, r)
+			}
+		}
+
+		// Release undoes the batch exactly.
+		batch.Release(plat)
+		pristine := workload.SyntheticRegionPlatform(8, 8, 123, 4)
+		if !plat.Residual().Equal(pristine.Residual()) {
+			t.Fatalf("seed %d: batch release did not restore the pristine residual", seed)
+		}
+	}
+}
+
+// TestBatchValidateAttributesAllViolations checks that a batch whose
+// members no longer fit reports every failing member (with its index),
+// not just the first, and that Violating agrees with Validate.
+func TestBatchValidateAttributesAllViolations(t *testing.T) {
+	plat := workload.SyntheticRegionPlatform(8, 8, 123, 4)
+	plans := plansFor(t, plat, disjointResults(t, plat, 7))
+	batch, err := MergePlans(plans...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy every member's resources so every member violates.
+	for _, p := range plans {
+		p.Commit(plat)
+		p.Commit(plat) // double-commit guarantees exhaustion for util/NI dimensions
+	}
+	verr := batch.Validate(plat)
+	if verr == nil {
+		t.Fatal("batch validated against an exhausted platform")
+	}
+	be, ok := verr.(*BatchConflictError)
+	if !ok {
+		t.Fatalf("want *BatchConflictError, got %T: %v", verr, verr)
+	}
+	if len(be.Indices) != len(plans) || len(be.Errs) != len(plans) {
+		t.Fatalf("want %d failing members, got indices %v", len(plans), be.Indices)
+	}
+	viol := batch.Violating(plat)
+	if len(viol) != len(be.Indices) {
+		t.Fatalf("Violating (%v) disagrees with Validate (%v)", viol, be.Indices)
+	}
+	for i := range viol {
+		if viol[i] != be.Indices[i] {
+			t.Fatalf("Violating (%v) disagrees with Validate (%v)", viol, be.Indices)
+		}
+	}
+	if be.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}

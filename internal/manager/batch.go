@@ -1,0 +1,344 @@
+package manager
+
+import (
+	"time"
+
+	"rtsm/internal/arch"
+	"rtsm/internal/core"
+)
+
+// Batched admission: the amortization layer over the whole pipeline
+// stack. Per-item admission pays, for every arrival, a region-lock
+// round-trip with a live validation inside it and two bookkeeping
+// sections — and, at high worker counts, the conflict retries of racing
+// the other workers. A draining worker instead pulls up to K queued
+// arrivals (size-or-latency trigger, prioQueue.popBatch), resolves each
+// to a speculative reservation plan, and merges the arrivals whose
+// plans land in pairwise-disjoint mesh regions (core.BatchPlan) into a
+// single multi-application commit under the union of their region
+// locks.
+//
+// The speculative phase is deliberately lock-free AND validation-free:
+// core.NewPlan reads only the platform's immutable topology, so
+// resolving an arrival to a plan touches no shared mutable state at
+// all. Each merged member is validated exactly once, inside the union
+// lock, immediately before the commit — the only place a validation
+// verdict cannot go stale. Per-item admission validates in one lock
+// session and commits in the same session; the batch does the same
+// work per member but pays the lock acquisition, the epoch bookkeeping
+// and the stats section once per round instead of once per arrival.
+// That is the entire win, and it is why the batch takes NO base
+// snapshot on the warm path: a snapshot would buy an early (hence
+// perishable) validation verdict at the cost of copy-on-write faults
+// on every subsequent live commit — measurably more than it saves.
+//
+// Cold structures (no template pool yet) still run the full four-step
+// map inside the batch, and only they pay for a snapshot: the mapper
+// reads the whole platform, which must not race concurrent commits, so
+// the batch lazily captures a base view and stacks the plans it has
+// already adopted onto it (so a cold map cannot double-book an earlier
+// member's tiles). A warm batch never reaches that code.
+//
+// Arrivals that cannot join the merged commit — footprint overlap
+// inside the batch, a failed commit-time validation — are first retried
+// as spill commits (their speculative plan committed per-item,
+// recycling the planning work) and only then fall back to the unchanged
+// per-item path, which owns retries, repair and preemption; the batch
+// layer never re-implements policy. The pipeline adapts K to the
+// observed fallback rate (Pipeline.adaptBatch), so a conflict-heavy
+// workload degrades gracefully toward per-item behaviour while a
+// region-spread workload keeps the full amortization.
+
+// batchItem carries one drained job through the batched admission round.
+type batchItem struct {
+	j   *job
+	out Outcome
+	res *core.Result
+	// plan is the speculative reservation plan (not yet validated — the
+	// commit phase validates under the relevant locks); nil routes the
+	// item to the per-item fallback.
+	plan *core.Plan
+	// fp is the template-cache fingerprint ("" when reuse is off or
+	// fingerprinting failed); fromTemplate marks res as a pool template
+	// (already cached — skip the re-insert) rather than a fresh mapping.
+	fp           string
+	fromTemplate bool
+	fallback     bool
+	committed    bool
+}
+
+// admitBatch runs a drained batch of jobs through the batched admission
+// path and delivers every job's Outcome on its done channel. now is the
+// queue clock's drain time, for wait accounting. It returns how many
+// jobs fell back to the per-item path, the signal the pipeline's
+// adaptive drain size feeds on.
+func (m *Manager) admitBatch(jobs []*job, now time.Time) (fallbacks int) {
+	items := make([]*batchItem, 0, len(jobs))
+
+	// Name registration for the whole batch in one bookkeeping section;
+	// duplicates are rejected immediately, exactly as per-item admit
+	// would reject them.
+	m.mu.Lock()
+	tc := m.templates
+	for _, j := range jobs {
+		it := &batchItem{j: j, out: Outcome{
+			App:      j.req.App.Name,
+			Wait:     now.Sub(j.enqueued),
+			Priority: clampPriority(j.req.App.QoS.Priority),
+		}}
+		if !m.registerPendingLocked(j.req.App.Name, &it.out) {
+			j.done <- it.out
+			continue
+		}
+		items = append(items, it)
+	}
+	m.mu.Unlock()
+	if len(items) == 0 {
+		return 0
+	}
+
+	// The lazily captured base view for cold full maps; nil until the
+	// first arrival without a template pool. ensureWork stacks every
+	// already-adopted plan onto it so the mapper sees the batch's own
+	// claims; newly adopted plans after that are stacked as they arrive.
+	var work *arch.Snapshot
+	var adopted []*core.Plan
+	ensureWork := func() *arch.Snapshot {
+		if work == nil {
+			work = m.baseSnapshot().Writable()
+			for _, p := range adopted {
+				p.Commit(work.Plat)
+			}
+		}
+		return work
+	}
+
+	// Speculative phase, lock-free: each arrival resolves to a plan
+	// without touching shared mutable state. Template selection is
+	// merge-aware: mappings computed at different occupancies route
+	// across very different region sets, so a variant may sprawl over
+	// regions earlier batch members already claimed. The first variant
+	// disjoint from the batch footprint joins the merged commit; when
+	// every variant overlaps, the first one is kept as a spill
+	// candidate. Validation happens later, under the locks the commit
+	// itself holds.
+	batch := &core.BatchPlan{}
+	merged := make([]*batchItem, 0, len(items))
+	for _, it := range items {
+		app, lib := it.j.req.App, it.j.req.Lib
+		mapStart := time.Now()
+		joined := false
+		hadPool := false
+		if tc != nil {
+			if f, err := Fingerprint(app, lib); err == nil {
+				it.fp = f
+				pool, start := tc.get(f)
+				hadPool = len(pool) > 0
+				for k := 0; k < len(pool); k++ {
+					tpl := pool[(start+k)%len(pool)]
+					plan, perr := core.NewPlan(m.plat, tpl)
+					if perr != nil {
+						continue
+					}
+					if plan.Overlaps(batch.Regions()) {
+						if it.plan == nil {
+							it.res, it.plan, it.fromTemplate = tpl, plan, true
+						}
+						continue
+					}
+					if batch.Add(plan) == nil {
+						it.res, it.plan, it.fromTemplate = tpl, plan, true
+						joined = true
+						break
+					}
+				}
+			}
+		}
+		if it.plan == nil && !hadPool {
+			// Full four-step maps run inside the batch only for COLD
+			// structures (no template pool yet) — the cold batch still
+			// merges. A warm-but-stale pool instead falls back to the
+			// per-item path, whose stale-template repair is cheaper than
+			// a scratch map; keeping multi-millisecond maps out of a warm
+			// drain also keeps the speculation window short, which is
+			// what holds the whole batch's commit-time conflict rate
+			// down.
+			w := ensureWork()
+			mapper := &core.Mapper{Lib: lib, Cfg: m.cfg}
+			res, mapErr := mapper.Map(app, w.Plat)
+			if mapErr == nil && res.Feasible {
+				if plan, perr := core.NewPlan(m.plat, res); perr == nil {
+					it.res, it.plan = res, plan
+					joined = batch.Add(plan) == nil
+				}
+			}
+			// Structural errors and infeasible-against-the-stack verdicts
+			// keep plan nil: the per-item fallback owns staleness
+			// retries, preemption and the rejection report.
+		}
+		if it.plan != nil {
+			adopted = append(adopted, it.plan)
+			if work != nil {
+				// A base view exists (some earlier arrival was cold):
+				// keep it current so later cold maps see this plan too.
+				it.plan.Commit(work.Plat)
+			}
+		}
+		it.out.Map += time.Since(mapStart)
+		// Greedy merge in drain (priority) order: an arrival whose
+		// footprint overlaps an earlier batch member cannot share the
+		// multi-application commit — the union-lock commit assumes
+		// pairwise-disjoint members.
+		if !joined {
+			it.fallback = true
+			continue
+		}
+		merged = append(merged, it)
+	}
+
+	// Merged commit: one lock acquisition over the union footprint, one
+	// validation per member inside it — the single authoritative check,
+	// taken at the only moment it cannot go stale. The member plans
+	// touch pairwise-disjoint resources, so their validations are
+	// independent: members that fail drop out to the per-item path and
+	// the survivors still commit in this round.
+	if len(merged) >= 2 {
+		commitStart := time.Now()
+		union := batch.Regions()
+		m.locks.Lock(union)
+		kept := &core.BatchPlan{}
+		var committed []*batchItem
+		for _, it := range merged {
+			if it.plan.Validate(m.plat) != nil {
+				it.fallback = true
+				continue
+			}
+			// Re-merging the survivors cannot fail: they are a subset
+			// of a set already proven pairwise disjoint.
+			if kept.Add(it.plan) == nil {
+				committed = append(committed, it)
+			} else {
+				it.fallback = true
+			}
+		}
+		kept.Commit(m.plat)
+		m.locks.Unlock(union)
+		commitElapsed := time.Since(commitStart)
+
+		if len(committed) > 0 {
+			// The commit section ran once for the whole merged set;
+			// attribute an even share to each member so latency stats
+			// stay comparable with the per-item path.
+			share := commitElapsed / time.Duration(len(committed))
+			m.mu.Lock()
+			if len(committed) >= 2 {
+				m.stats.Batches++
+			}
+			for _, it := range committed {
+				it.committed = true
+				it.out.Attempts = 1
+				it.out.Commit += share
+				m.seq++
+				ad := &Admission{App: it.j.req.App, Result: it.res, Seq: m.seq,
+					Priority: it.out.Priority, lib: it.j.req.Lib}
+				m.running[it.j.req.App.Name] = ad
+				m.stats.BatchedAdmissions++
+				if it.fromTemplate {
+					m.stats.TemplateHits++
+				}
+				m.finishLocked(&it.out, ad, nil)
+			}
+			m.mu.Unlock()
+			for _, it := range committed {
+				if tc != nil && it.fp != "" && !it.fromTemplate {
+					tc.put(it.fp, it.res)
+				}
+				it.j.done <- it.out
+			}
+		}
+	} else {
+		// A batch that merged fewer than two plans has nothing to
+		// amortize; route everything through the per-item path.
+		for _, it := range merged {
+			it.fallback = true
+		}
+	}
+
+	// Spill commits next: an arrival that could not join the merged
+	// commit — footprint overlap inside the batch, or a failed merged
+	// validation — still has its speculative plan, which remains a
+	// perfectly good per-item commit candidate. One lock round-trip over
+	// its own footprint with a validation inside replaces a full re-map.
+	// Only spills that lose that validation — to a cross-worker race or
+	// to the batch member they overlap — pay for the complete per-item
+	// path; their pending entry is still registered (the fallback
+	// releases it via finishLocked), so no competing Submit can steal
+	// the name and every drained job ends in exactly one outcome —
+	// never both, never neither.
+	spills := 0
+	for _, it := range items {
+		if it.committed || !it.fallback {
+			continue
+		}
+		if it.plan != nil && m.spillCommit(it, tc) {
+			spills++
+			continue
+		}
+		fallbacks++
+		if it.plan != nil && !it.fromTemplate {
+			// A freshly computed mapping that lost its live validation is
+			// multi-millisecond work worth recycling: seed the per-item
+			// path's conflict-repair machinery with it instead of mapping
+			// from scratch. The speculative round counts as the first
+			// attempt. Template candidates are NOT seeded — re-probing
+			// the pool under live locks (admitRegistered's fast path) is
+			// microseconds, repair is not.
+			it.out.Attempts = 1
+			it.j.done <- m.admitFrom(it.j.req.App, it.j.req.Lib, it.out, it.res)
+			continue
+		}
+		it.j.done <- m.admitRegistered(it.j.req.App, it.j.req.Lib, it.out)
+	}
+	if spills > 0 || fallbacks > 0 {
+		m.mu.Lock()
+		m.stats.BatchSpills += uint64(spills)
+		m.stats.BatchFallbacks += uint64(fallbacks)
+		m.mu.Unlock()
+	}
+	return fallbacks
+}
+
+// spillCommit tries to commit a batch member's speculative plan through
+// the ordinary per-item commit protocol: validate under the plan's own
+// region locks and commit on success. It reports false — with no state
+// changed and no outcome delivered — when the plan no longer fits the
+// live platform, leaving the full per-item path to decide the arrival.
+func (m *Manager) spillCommit(it *batchItem, tc *templateCache) bool {
+	commitStart := time.Now()
+	footprint := it.plan.Regions()
+	m.locks.Lock(footprint)
+	if it.plan.Validate(m.plat) != nil {
+		m.locks.Unlock(footprint)
+		return false
+	}
+	it.plan.Commit(m.plat)
+	m.locks.Unlock(footprint)
+	it.committed = true
+	it.out.Attempts = 1
+	it.out.Commit += time.Since(commitStart)
+	m.mu.Lock()
+	m.seq++
+	ad := &Admission{App: it.j.req.App, Result: it.res, Seq: m.seq,
+		Priority: it.out.Priority, lib: it.j.req.Lib}
+	m.running[it.j.req.App.Name] = ad
+	if it.fromTemplate {
+		m.stats.TemplateHits++
+	}
+	m.finishLocked(&it.out, ad, nil)
+	m.mu.Unlock()
+	if tc != nil && it.fp != "" && !it.fromTemplate {
+		tc.put(it.fp, it.res)
+	}
+	it.j.done <- it.out
+	return true
+}

@@ -1,0 +1,327 @@
+package manager
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rtsm/internal/core"
+	"rtsm/internal/model"
+	"rtsm/internal/workload"
+)
+
+// pinnedReq builds an admission request whose stream endpoints are pinned
+// to the given per-region source/sink tiles of a SyntheticRegionPlatform.
+func pinnedReq(n int, src, sink string) (*model.Application, *model.Library) {
+	app, lib := workload.Synthetic(workload.SynthOptions{
+		Shape: workload.ShapeChain, Processes: 3, Seed: int64(n % 7),
+		MaxUtil: 0.10, PeriodNs: 40_000,
+		SrcTile: src, SinkTile: sink,
+	})
+	app.Name = fmt.Sprintf("batch-%s-%d", src, n)
+	return app, lib
+}
+
+// TestCloseReturnsWhileSubmitBlockedOnFullQueue is the shutdown-stall
+// regression test. The old pipeline held a reader lock across the
+// blocking queue push, so a Submit stuck on a full queue could stall
+// Close (a writer) indefinitely. Now close detection lives inside the
+// queue: Close must return promptly even though a Submit is parked on a
+// full queue, and that Submit must come back with the close error. A
+// workerless pipeline keeps the queue full deterministically.
+func TestCloseReturnsWhileSubmitBlockedOnFullQueue(t *testing.T) {
+	m := New(workload.SyntheticPlatform(6, 6, 1), core.Config{})
+	p := &Pipeline{m: m, q: newPrioQueue(1, DefaultAging)} // no workers: nothing drains
+
+	if _, err := p.Submit(synthReq(0)); err != nil { // fills the only slot
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := p.Submit(synthReq(1)) // parks in push on the full queue
+		blocked <- err
+	}()
+	// Wait until the submitter is actually parked inside the queue.
+	for i := 0; ; i++ {
+		select {
+		case err := <-blocked:
+			t.Fatalf("second Submit returned before Close: %v", err)
+		default:
+		}
+		if i > 100 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		p.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close stalled behind a Submit blocked on a full queue")
+	}
+	select {
+	case err := <-blocked:
+		if err == nil {
+			t.Fatal("Submit blocked across Close reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Submit stayed blocked after Close")
+	}
+}
+
+// TestCloseUnderSubmitStorm closes the pipeline while submitter
+// goroutines hammer it continuously. Close must complete, every Submit
+// must resolve (outcome or close error), and each accepted request must
+// deliver exactly one outcome.
+func TestCloseUnderSubmitStorm(t *testing.T) {
+	m := New(workload.SyntheticPlatform(6, 6, 1), core.Config{})
+	p := NewPipeline(m, 2, 2)
+
+	const submitters = 6
+	var accepted, refused, delivered atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ch, err := p.Submit(synthReq(s*10_000 + i))
+				if err != nil {
+					refused.Add(1)
+					return // pipeline closed; storm over for this submitter
+				}
+				accepted.Add(1)
+				out := <-ch
+				delivered.Add(1)
+				if out.Admitted {
+					_ = m.Stop(out.App)
+				}
+			}
+		}(s)
+	}
+	time.Sleep(20 * time.Millisecond) // let the storm build up
+
+	closed := make(chan struct{})
+	go func() {
+		p.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not complete under a continuous submit storm")
+	}
+	close(stop)
+	wg.Wait()
+	if accepted.Load() != delivered.Load() {
+		t.Fatalf("%d accepted submissions but %d outcomes delivered",
+			accepted.Load(), delivered.Load())
+	}
+	if accepted.Load() == 0 {
+		t.Fatal("storm produced no accepted submissions; fixture broken")
+	}
+}
+
+// TestQueueStampsEnqueueWithInjectedClock pins the clock-consistency
+// fix: the enqueue timestamp that wait accounting and aging promotion
+// read must come from the queue's own (injectable) clock, not from a
+// time.Now taken at job construction.
+func TestQueueStampsEnqueueWithInjectedClock(t *testing.T) {
+	q := newPrioQueue(4, DefaultAging)
+	fake := time.Unix(1_000_000, 0)
+	q.now = func() time.Time { return fake }
+
+	j := newJob(synthReq(0))
+	if !j.enqueued.IsZero() {
+		t.Fatal("newJob stamped its own enqueue time; the queue clock must own it")
+	}
+	if !q.push(j) {
+		t.Fatal("push failed")
+	}
+	if !j.enqueued.Equal(fake) {
+		t.Fatalf("enqueued stamped %v, want the injected clock's %v", j.enqueued, fake)
+	}
+	if got := q.clock(); !got.Equal(fake) {
+		t.Fatalf("queue clock reads %v, want %v", got, fake)
+	}
+	fake = fake.Add(3 * time.Second)
+	if wait := q.clock().Sub(j.enqueued); wait != 3*time.Second {
+		t.Fatalf("wait computed from queue clock is %v, want 3s", wait)
+	}
+}
+
+// TestAdmitBatchConflictHeavy drives the batched path with arrivals all
+// pinned to the same mesh region, so every pair of speculative plans
+// overlaps and nothing can merge. The batch layer must degrade without
+// dropping or double-committing anything: every job gets exactly one
+// outcome, the stats account for every arrival, no merged commit is
+// recorded, every admission that could not merge went through a spill
+// commit or the per-item fallback, and the ledger returns to pristine.
+func TestAdmitBatchConflictHeavy(t *testing.T) {
+	plat := workload.SyntheticRegionPlatform(8, 8, 123, 4)
+	m := New(plat, core.Config{})
+	pristine := m.Residual()
+
+	const n = 8
+	jobs := make([]*job, n)
+	for i := 0; i < n; i++ {
+		jobs[i] = newJob(pinnedReq(i, "SRC0", "SINK0"))
+		jobs[i].enqueued = time.Now()
+	}
+	fallbacks := m.admitBatch(jobs, time.Now())
+
+	admitted := make([]string, 0, n)
+	for i, j := range jobs {
+		select {
+		case out := <-j.done:
+			if out.Admitted {
+				admitted = append(admitted, out.App)
+			} else if out.Err == nil {
+				t.Fatalf("job %d has neither admission nor error", i)
+			}
+		default:
+			t.Fatalf("job %d got no outcome", i)
+		}
+		// Exactly one outcome: the channel must now be empty.
+		select {
+		case <-j.done:
+			t.Fatalf("job %d delivered a second outcome", i)
+		default:
+		}
+	}
+	st := m.Stats()
+	if st.Admitted+st.Rejected != n {
+		t.Fatalf("stats account for %d arrivals, want %d", st.Admitted+st.Rejected, n)
+	}
+	if st.Batches != 0 {
+		t.Fatalf("conflict-heavy batch recorded %d merged commits, want 0", st.Batches)
+	}
+	// Nothing merged, so every admitted arrival went through a spill
+	// commit (its stacked plan recycled per-item) or a per-item
+	// fallback; the two must cover all admissions.
+	if st.BatchSpills+st.BatchFallbacks < st.Admitted {
+		t.Fatalf("spills (%d) + fallbacks (%d) cover only part of %d admissions",
+			st.BatchSpills, st.BatchFallbacks, st.Admitted)
+	}
+	if fallbacks != int(st.BatchFallbacks) {
+		t.Fatalf("admitBatch returned %d fallbacks, stats say %d", fallbacks, st.BatchFallbacks)
+	}
+	for _, name := range admitted {
+		if err := m.Stop(name); err != nil {
+			t.Fatalf("stop %s: %v", name, err)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after conflict-heavy batch: %v", err)
+	}
+	if final := m.Residual(); !final.Equal(pristine) {
+		t.Fatal("ledger not pristine after stopping every batched admission")
+	}
+}
+
+// TestAdmitBatchMergesDisjointRegions spreads one arrival per region
+// over a 16-region platform and drains them as one batch: at least one
+// multi-application merged commit must form, every arrival must resolve
+// exactly once, and full churn must leave the ledger pristine.
+func TestAdmitBatchMergesDisjointRegions(t *testing.T) {
+	plat := workload.SyntheticRegionPlatform(16, 16, 123, 4)
+	m := New(plat, core.Config{})
+	pristine := m.Residual()
+
+	n := plat.RegionCount() / 2 // 8 arrivals over 16 regions: overlap is sparse
+	jobs := make([]*job, n)
+	for i := 0; i < n; i++ {
+		jobs[i] = newJob(pinnedReq(i, fmt.Sprintf("SRC%d", i*2), fmt.Sprintf("SINK%d", i*2)))
+		jobs[i].enqueued = time.Now()
+	}
+	m.admitBatch(jobs, time.Now())
+
+	admitted := make([]string, 0, n)
+	for i, j := range jobs {
+		select {
+		case out := <-j.done:
+			if out.Admitted {
+				admitted = append(admitted, out.App)
+			} else if out.Err == nil {
+				t.Fatalf("job %d has neither admission nor error", i)
+			}
+		default:
+			t.Fatalf("job %d got no outcome", i)
+		}
+	}
+	st := m.Stats()
+	if st.Batches == 0 {
+		t.Fatalf("region-spread batch produced no merged commit (%d batched, %d fallbacks)",
+			st.BatchedAdmissions, st.BatchFallbacks)
+	}
+	if st.BatchedAdmissions < 2 {
+		t.Fatalf("merged commit covered %d admissions, want >= 2", st.BatchedAdmissions)
+	}
+	for _, name := range admitted {
+		if err := m.Stop(name); err != nil {
+			t.Fatalf("stop %s: %v", name, err)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after batched churn: %v", err)
+	}
+	if final := m.Residual(); !final.Equal(pristine) {
+		t.Fatal("ledger not pristine after stopping every batched admission")
+	}
+}
+
+// TestPipelineBatchedDeliversAll runs a batching pipeline end to end:
+// every submission resolves exactly once, the stats account for every
+// arrival, and the adaptive drain size stays within [2, K].
+func TestPipelineBatchedDeliversAll(t *testing.T) {
+	plat := workload.SyntheticRegionPlatform(16, 16, 123, 4)
+	m := New(plat, core.Config{})
+	m.SetMappingReuse(true)
+	pipe := NewPipeline(m, 2, 16)
+	pipe.SetBatch(4)
+	pipe.SetBatchLinger(2 * time.Millisecond)
+
+	const n = 48
+	chans := make([]<-chan Outcome, n)
+	for i := 0; i < n; i++ {
+		ch, err := pipe.Submit(pinnedReq(i, fmt.Sprintf("SRC%d", i%16), fmt.Sprintf("SINK%d", i%16)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	for i, ch := range chans {
+		out := <-ch
+		if out.Admitted {
+			if err := m.Stop(out.App); err != nil {
+				t.Fatalf("stop %s: %v", out.App, err)
+			}
+		} else if out.Err == nil {
+			t.Fatalf("outcome %d has neither admission nor error", i)
+		}
+	}
+	pipe.Close()
+	st := m.Stats()
+	if st.Admitted+st.Rejected != n {
+		t.Fatalf("stats account for %d arrivals, want %d", st.Admitted+st.Rejected, n)
+	}
+	if cur := pipe.batchCur.Load(); cur < 2 || cur > 4 {
+		t.Fatalf("adaptive drain size %d escaped [2, 4]", cur)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after batched pipeline churn: %v", err)
+	}
+}

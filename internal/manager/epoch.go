@@ -71,9 +71,17 @@ func (m *Manager) baseSnapshot() *arch.Snapshot {
 	}
 	m.epochMu.Lock()
 	defer m.epochMu.Unlock()
+	// The staleness guard compares unsigned versions: live must be at
+	// least the snapshot's before subtracting, or a snapshot from ahead
+	// of the live counter (conceivable after a future reset/rollback
+	// path) would underflow to a huge distance. Today that underflow
+	// happens to fail the ≤ lag test — the safe direction — but only by
+	// accident; the explicit ordering check keeps it safe on purpose and
+	// rolls the epoch whenever the version history is not comparable.
+	live := m.plat.Version()
 	if s := m.epochSnap; s != nil &&
 		len(s.RegionVersions) == m.plat.RegionCount() &&
-		m.plat.Version()-s.Version <= lag {
+		live >= s.Version && live-s.Version <= lag {
 		m.countSnapshot(true)
 		return s
 	}

@@ -164,6 +164,21 @@ type Stats struct {
 	// Evictions counts preempted victims that could not be relocated and
 	// lost their reservations.
 	Evictions uint64
+	// Batches counts batched admission rounds that reached the merged
+	// multi-application commit with at least two mergeable plans.
+	// BatchedAdmissions counts admissions committed inside such a merged
+	// commit. BatchSpills counts arrivals that could not join the merged
+	// commit (footprint overlap inside the batch, failed merged
+	// validation) but whose speculative plan still committed per-item
+	// against the live platform — the cheap exit. BatchFallbacks counts
+	// arrivals drained into a batch that re-entered the full per-item
+	// path instead: no speculative plan (infeasible against the shared
+	// base, structural error) or a spill whose plan no longer fit. With
+	// batching off all four stay zero.
+	Batches           uint64
+	BatchedAdmissions uint64
+	BatchSpills       uint64
+	BatchFallbacks    uint64
 	// ByClass splits admitted/rejected per priority class, indexed by
 	// model.Priority.
 	ByClass [model.NumPriorities]ClassStats
@@ -451,27 +466,58 @@ func footprintFresh(plat *arch.Platform, snap *arch.Snapshot, footprint []arch.R
 	return true
 }
 
+// registerPendingLocked claims an application name for one in-flight admission
+// (duplicate detection against running, preempting and pending sets). It
+// reports false with the error already set in out when the name is
+// taken; on success the caller owns the pending entry until finishLocked
+// releases it. Callers must hold m.mu.
+func (m *Manager) registerPendingLocked(name string, out *Outcome) bool {
+	if _, dup := m.running[name]; dup {
+		out.Err = fmt.Errorf("manager: application %q already running", name)
+		return false
+	}
+	if _, dup := m.preempting[name]; dup {
+		out.Err = fmt.Errorf("manager: application %q already running", name)
+		return false
+	}
+	if _, dup := m.pending[name]; dup {
+		out.Err = fmt.Errorf("manager: application %q is already being admitted", name)
+		return false
+	}
+	m.pending[name] = struct{}{}
+	return true
+}
+
 func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Duration) Outcome {
 	prio := clampPriority(app.QoS.Priority)
 	out := Outcome{App: app.Name, Wait: wait, Priority: prio}
-
 	m.mu.Lock()
-	if _, dup := m.running[app.Name]; dup {
+	if !m.registerPendingLocked(app.Name, &out) {
 		m.mu.Unlock()
-		out.Err = fmt.Errorf("manager: application %q already running", app.Name)
 		return out
 	}
-	if _, dup := m.preempting[app.Name]; dup {
-		m.mu.Unlock()
-		out.Err = fmt.Errorf("manager: application %q already running", app.Name)
-		return out
-	}
-	if _, dup := m.pending[app.Name]; dup {
-		m.mu.Unlock()
-		out.Err = fmt.Errorf("manager: application %q is already being admitted", app.Name)
-		return out
-	}
-	m.pending[app.Name] = struct{}{}
+	m.mu.Unlock()
+	return m.admitRegistered(app, lib, out)
+}
+
+// admitRegistered is the admission pipeline past name registration: the
+// caller (admit, or the batched path re-routing a fallback) has already
+// claimed the application's pending entry, which finishLocked releases.
+func (m *Manager) admitRegistered(app *model.Application, lib *model.Library, out Outcome) Outcome {
+	return m.admitFrom(app, lib, out, nil)
+}
+
+// admitFrom is admitRegistered with an optional seed: a speculative
+// mapping that already exists but just lost a live commit validation (a
+// batch spill whose plan no longer fits). A seeded admission enters the
+// retry loop exactly as a per-item commit conflict would — repair the
+// seed against a fresh snapshot instead of probing templates or mapping
+// from scratch — so the batch's speculative work is recycled even when
+// its commit is refused. The caller accounts the seed's mapping round in
+// out.Attempts.
+func (m *Manager) admitFrom(app *model.Application, lib *model.Library, out Outcome, seed *core.Result) Outcome {
+	prio := out.Priority
+	m.mu.Lock()
 	tc := m.templates
 	repairOn := m.repair
 	preemptOn := m.preemption && prio > model.BestEffort
@@ -486,14 +532,41 @@ func (m *Manager) admit(app *model.Application, lib *model.Library, wait time.Du
 	trigger := triggerNone
 	var snap *arch.Snapshot
 
+	var fp string
+	if seed != nil {
+		retry := out.Attempts <= maxRetries
+		m.mu.Lock()
+		m.stats.Conflicts++
+		if retry {
+			m.stats.ConflictRetries++
+		}
+		m.mu.Unlock()
+		if !retry {
+			m.mu.Lock()
+			m.finishLocked(&out, nil, &RejectionError{App: app.Name,
+				Reason: "batched plan lost its commit validation and retries are exhausted"})
+			m.mu.Unlock()
+			return out
+		}
+		snap = m.freshSnapshot()
+		trigger = triggerConflict
+		if repairOn {
+			repairFrom = seed
+		}
+		if tc != nil {
+			if f, err := Fingerprint(app, lib); err == nil {
+				fp = f // cache the eventual mapping; the pool was probed in the batch phase
+			}
+		}
+	}
+
 	// Fast path: structurally identical application admitted before —
 	// try committing its mapping directly. Each template's reservation
 	// plan is validated under just its own region locks, so template
 	// commits in disjoint regions proceed in parallel; validation against
 	// the live platform makes a stale template harmless — it can be
 	// refused, not applied wrongly.
-	var fp string
-	if tc != nil {
+	if seed == nil && tc != nil {
 		if f, err := Fingerprint(app, lib); err == nil {
 			fp = f
 			if pool, start := tc.get(fp); len(pool) > 0 {

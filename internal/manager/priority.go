@@ -113,10 +113,24 @@ func (q *prioQueue) tryPush(j *job) bool {
 }
 
 func (q *prioQueue) enqueueLocked(j *job) {
+	// Stamp the enqueue time with the queue's own clock, the same source
+	// the aging promotion reads: under an injected test clock the
+	// worker's wait accounting and the effective-class computation now
+	// agree by construction (they used to diverge when jobs stamped
+	// themselves with time.Now at construction).
+	j.enqueued = q.now()
 	c := clampPriority(j.prio)
 	q.queues[c] = append(q.queues[c], j)
 	q.size++
 	q.notEmpty.Signal()
+}
+
+// clock reads the queue's time source — the one enqueue stamps and aging
+// reads — so callers computing queue waits stay consistent with both.
+func (q *prioQueue) clock() time.Time {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.now()
 }
 
 // pop dequeues the job with the highest effective class, breaking ties by
@@ -160,6 +174,47 @@ func (q *prioQueue) dequeueLocked() *job {
 	q.size--
 	return j
 }
+
+// popBatch dequeues up to max jobs in one drain, highest effective class
+// first — the size-or-latency trigger of the batched admission path. It
+// blocks like pop for the first job, then collects whatever else is
+// queued; if the queue runs dry before the batch fills and linger is
+// positive, it waits up to linger (in small slices, so a burst arriving
+// mid-wait completes the batch early) for stragglers. It returns nil
+// once the queue is closed and drained.
+func (q *prioQueue) popBatch(max int, linger time.Duration) []*job {
+	if max < 1 {
+		max = 1
+	}
+	first, ok := q.pop()
+	if !ok {
+		return nil
+	}
+	batch := make([]*job, 1, max)
+	batch[0] = first
+	deadline := time.Now().Add(linger)
+	for len(batch) < max {
+		q.mu.Lock()
+		for q.size > 0 && len(batch) < max {
+			batch = append(batch, q.dequeueLocked())
+			q.notFull.Signal()
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if len(batch) == max || closed || linger <= 0 || !time.Now().Before(deadline) {
+			break
+		}
+		// A condition variable has no timed wait in Go; a short sleep
+		// slice bounds the latency cost at `linger` while still letting
+		// a mid-wait burst fill the batch.
+		time.Sleep(batchLingerSlice)
+	}
+	return batch
+}
+
+// batchLingerSlice is the poll interval popBatch waits in while lingering
+// for a batch to fill.
+const batchLingerSlice = 50 * time.Microsecond
 
 // close marks the queue closed and wakes every waiter. Queued jobs remain
 // poppable; pushes fail from here on.

@@ -2,12 +2,15 @@ package manager
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
-	"encoding/json"
+	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"rtsm/internal/core"
+	"rtsm/internal/csdf"
 	"rtsm/internal/model"
 )
 
@@ -32,26 +35,97 @@ import (
 // Mapper.Map's outcome depends on except the platform's residual state
 // and the application's display name. Two arrivals with equal
 // fingerprints are interchangeable for mapping purposes.
+//
+// The encoding is a hand-rolled length-prefixed binary walk of the spec
+// rather than reflected JSON: the fingerprint runs once per admission on
+// the warm path, where JSON encoding used to be the single largest cost.
+// The name and the QoS priority are excluded — identity is structural,
+// not nominal, and priority orders the queue, not the mapping.
+// Implementations are visited in process declaration order and library
+// registration order, both part of the mapping's semantics (they encode
+// the paper's tie-breaking); port maps are visited in sorted-key order
+// so equal structures hash equally.
 func Fingerprint(app *model.Application, lib *model.Library) (string, error) {
-	h := sha256.New()
-	probe := *app
-	probe.Name = ""        // identity is structural, not nominal
-	probe.QoS.Priority = 0 // priority orders the queue, not the mapping
-	enc := json.NewEncoder(h)
-	if err := enc.Encode(&probe); err != nil {
-		return "", err
+	e := fpEncoder{buf: make([]byte, 0, 1024)}
+	e.i64(app.QoS.PeriodNs)
+	e.i64(app.QoS.LatencyNs)
+	e.i64(int64(len(app.Processes)))
+	for _, p := range app.Processes {
+		e.str(p.Name)
+		e.str(p.PinnedTile)
+		e.bool(p.Control)
 	}
-	// Implementations are visited in process declaration order and
-	// library registration order, both part of the mapping's semantics
-	// (they encode the paper's tie-breaking).
+	e.i64(int64(len(app.Channels)))
+	for _, c := range app.Channels {
+		e.str(c.Name)
+		e.i64(int64(c.Src))
+		e.i64(int64(c.Dst))
+		e.i64(c.TokensPerPeriod)
+		e.i64(c.TokenBytes)
+		e.str(c.SrcPort)
+		e.str(c.DstPort)
+	}
 	for _, p := range app.Processes {
 		for _, im := range lib.For(p.Name) {
-			if err := enc.Encode(im); err != nil {
-				return "", err
-			}
+			e.str(im.Process)
+			e.str(string(im.TileType))
+			e.pattern(im.WCET)
+			e.ports(im.In)
+			e.ports(im.Out)
+			e.f64(im.EnergyPerPeriod)
+			e.i64(im.MemBytes)
 		}
 	}
-	return hex.EncodeToString(h.Sum(nil)), nil
+	sum := sha256.Sum256(e.buf)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// fpEncoder accumulates the fingerprint's unambiguous byte encoding:
+// every variable-length field is length-prefixed, so no two distinct
+// specs share an encoding.
+type fpEncoder struct {
+	buf []byte
+}
+
+func (e *fpEncoder) i64(v int64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(v))
+}
+
+func (e *fpEncoder) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+func (e *fpEncoder) str(s string) {
+	e.i64(int64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *fpEncoder) bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+func (e *fpEncoder) pattern(p csdf.Pattern) {
+	e.i64(int64(len(p)))
+	for _, v := range p {
+		e.i64(v)
+	}
+}
+
+func (e *fpEncoder) ports(m map[string]csdf.Pattern) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.i64(int64(len(keys)))
+	for _, k := range keys {
+		e.str(k)
+		e.pattern(m[k])
+	}
 }
 
 // templatePoolSize caps how many alternative placements are remembered

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Run the batched-vs-unbatched admission benchmark pair and render the
+# result as a small JSON artifact. The checked-in BENCH_6.json at the
+# repo root is a reference run of this script; CI re-runs it on every
+# build and uploads the fresh file alongside the raw `go test -bench`
+# output, so the batched-admission speedup is tracked as a first-class
+# comparison artifact (like the repair and sharding pairs in bench.txt).
+#
+# Both benchmarks drive the identical 4-worker churn workload through
+# the pipeline; they differ only in whether workers drain arrivals in
+# batches (merged multi-application commits, spill commits for
+# overlapping plans) or one at a time. Per-run numbers are noisy —
+# the per-item control's throughput swings with how many conflict
+# retries and template repairs the cross-worker races happen to
+# trigger — so the JSON records the mean over $COUNT runs of each
+# benchmark and the ratio of those means.
+#
+# Usage: scripts/bench_json.sh
+#   BENCHTIME=2s COUNT=3 OUT=BENCH_6.json scripts/bench_json.sh
+set -euo pipefail
+
+benchtime=${BENCHTIME:-2s}
+count=${COUNT:-3}
+out=${OUT:-BENCH_6.json}
+raw=${RAW:-bench-batch.txt}
+
+go test -run xxx -bench 'BenchmarkAdmission(Batched|Unbatched)$' \
+  -benchtime "$benchtime" -count "$count" . | tee "$raw"
+
+awk -v benchtime="$benchtime" -v count="$count" -v goversion="$(go version)" '
+/^BenchmarkAdmission(Batched|Unbatched)/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+  seen[name] = 1
+  runs[name]++
+  # A benchmark line is: name, iterations, then (value, unit) pairs.
+  for (i = 3; i < NF; i += 2) {
+    unit = $(i + 1)
+    gsub(/\//, "_per_", unit)
+    gsub(/%/, "pct_", unit)
+    sum[name, unit] += $i
+    if (!(unit in units)) { units[unit] = ++nu; uorder[nu] = unit }
+  }
+}
+END {
+  n = 2
+  order[0] = "BenchmarkAdmissionBatched"
+  order[1] = "BenchmarkAdmissionUnbatched"
+  for (k = 0; k < n; k++) if (!(order[k] in seen)) {
+    print "bench_json: missing benchmark " order[k] > "/dev/stderr"
+    exit 1
+  }
+  printf "{\n"
+  printf "  \"pair\": \"batched vs unbatched pipeline admission\",\n"
+  printf "  \"go\": \"%s\",\n", goversion
+  printf "  \"benchtime\": \"%s\",\n", benchtime
+  printf "  \"count\": %d,\n", count
+  printf "  \"benchmarks\": {\n"
+  for (k = 0; k < n; k++) {
+    name = order[k]
+    printf "    \"%s\": {", name
+    first = 1
+    for (u = 1; u <= nu; u++) {
+      unit = uorder[u]
+      if (!((name, unit) in sum)) continue
+      if (!first) printf ", "
+      first = 0
+      printf "\"%s\": %.6g", unit, sum[name, unit] / runs[name]
+    }
+    printf "}%s\n", (k < n - 1) ? "," : ""
+  }
+  printf "  },\n"
+  b = sum["BenchmarkAdmissionBatched", "admissions_per_sec"] / runs["BenchmarkAdmissionBatched"]
+  u = sum["BenchmarkAdmissionUnbatched", "admissions_per_sec"] / runs["BenchmarkAdmissionUnbatched"]
+  printf "  \"speedup_admissions_per_sec\": %.3f\n", b / u
+  printf "}\n"
+}' "$raw" > "$out"
+
+echo "bench_json: wrote $out"
+cat "$out"
