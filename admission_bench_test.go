@@ -357,11 +357,11 @@ func batchApp(i, regions int) (*model.Application, *model.Library) {
 // workload, workers, queue depth, collector — is identical between the
 // two variants, so the admissions/sec difference is exactly what merging
 // disjoint plans into one multi-application commit buys.
-func benchmarkAdmissionBatched(b *testing.B, workers, batch int) {
+func benchmarkAdmissionBatched(b *testing.B, workers, batch int, cfg core.Config) {
 	const regionSize = 4
 	plat := workload.SyntheticRegionPlatform(16, 16, 123, regionSize)
 	regions := plat.RegionCount()
-	m := manager.New(plat, core.Config{})
+	m := manager.New(plat, cfg)
 	m.SetMappingReuse(true)
 	m.SetRepair(true)
 	warmCatalogue(b, m, func(s int) (*model.Application, *model.Library) {
@@ -430,13 +430,26 @@ func benchmarkAdmissionBatched(b *testing.B, workers, batch int) {
 // retries/arrival metric reads several times lower than the unbatched
 // control's.
 func BenchmarkAdmissionBatched(b *testing.B) {
-	benchmarkAdmissionBatched(b, 4, 8)
+	benchmarkAdmissionBatched(b, 4, 8, core.Config{})
 }
 
 // BenchmarkAdmissionUnbatched is the per-item control: the identical
 // region-spread workload, pipeline and queue depth with batching off.
 func BenchmarkAdmissionUnbatched(b *testing.B) {
-	benchmarkAdmissionBatched(b, 4, 0)
+	benchmarkAdmissionBatched(b, 4, 0, core.Config{})
+}
+
+// BenchmarkAdmissionBatchedRegionBias is BenchmarkAdmissionBatched with
+// the region-aware placement bias on: the mapper prices tiles outside the
+// regions a spec already occupies, so speculative plans keep narrower
+// region-lock footprints and more of them merge into each batch commit
+// instead of spilling. The workload pins each arrival's endpoints to one
+// region already, so the headline admissions/sec sits near the unbiased
+// number — the bias is the %spilled/%fellback knob for workloads whose
+// footprints would otherwise straddle regions (EXPERIMENTS.md records the
+// comparison).
+func BenchmarkAdmissionBatchedRegionBias(b *testing.B) {
+	benchmarkAdmissionBatched(b, 4, 8, core.Config{RegionBias: 10})
 }
 
 // reportAdmissions derives the timed-section metrics: base is the stats

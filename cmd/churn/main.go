@@ -19,6 +19,8 @@
 //	go run ./cmd/churn -cow=false            # per-admission deep-copy snapshots
 //	go run ./cmd/churn -epoch=false          # CoW snapshots, no epoch sharing
 //	go run ./cmd/churn -regionsize 4 -batch 8  # merged multi-application commits
+//	go run ./cmd/churn -meshes 4             # fleet: 4 federated meshes, routed admission
+//	go run ./cmd/churn -meshes 4 -rebalance 5ms  # with background hot->cold rebalancing
 package main
 
 import (
@@ -37,6 +39,8 @@ var (
 	queue     = flag.Int("queue", 0, "work queue depth (0 = same as workers)")
 	apps      = flag.Int("apps", 400, "number of application arrivals")
 	mesh      = flag.Int("mesh", 8, "platform mesh width and height")
+	meshes    = flag.Int("meshes", 1, "federate across N independent meshes behind the fleet router (1 = single-manager path)")
+	rebal     = flag.Duration("rebalance", 0, "fleet rebalancer period, draining best-effort residents hot->cold (0 = off; needs -meshes > 1)")
 	seed      = flag.Int64("seed", 123, "platform generator seed")
 	catalogue = flag.Int("catalogue", 64, "distinct application structures in rotation")
 	util      = flag.Float64("util", 0.15, "max per-implementation utilisation")
@@ -61,6 +65,8 @@ func options() churn.Options {
 		Queue:      *queue,
 		Apps:       *apps,
 		Mesh:       *mesh,
+		Meshes:     *meshes,
+		Rebalance:  *rebal,
 		Seed:       *seed,
 		Catalogue:  *catalogue,
 		MaxUtil:    *util,
@@ -84,9 +90,28 @@ func report(label string, r churn.Result) {
 	st := r.Stats
 	total := st.Admitted + st.Rejected
 	fmt.Printf("%s:\n", label)
+	if len(r.PerMesh) > 0 {
+		fs := r.Fleet
+		fmt.Printf("  fleet             %d meshes, %d spills (%d admitted by a sibling), %d overflow rejects\n",
+			len(r.PerMesh), fs.Spills, fs.SpillAdmits, fs.OverflowRejects)
+		if fs.Relocations+fs.RelocFailbacks+fs.RelocDrops > 0 {
+			fmt.Printf("  rebalancer        %d residents moved hot->cold, %d failbacks, %d drops\n",
+				fs.Relocations, fs.RelocFailbacks, fs.RelocDrops)
+		}
+		for i, ms := range r.PerMesh {
+			fmt.Printf("  mesh %-12d %d admitted, %d rejected, %d conflicts, %d template hits\n",
+				i, ms.Admitted, ms.Rejected, ms.Conflicts, ms.TemplateHits)
+		}
+	}
 	fmt.Printf("  commit sharding   %d region(s)\n", r.Regions)
-	fmt.Printf("  arrivals          %d (%d admitted, %d rejected, %.1f%% admitted)\n",
-		total, st.Admitted, st.Rejected, 100*float64(st.Admitted)/float64(max(total, 1)))
+	arrivalsLabel := "arrivals"
+	if len(r.PerMesh) > 0 {
+		// Spilled arrivals are counted on every mesh they tried, so the
+		// summed mesh-level view exceeds the true arrival count.
+		arrivalsLabel = "mesh attempts"
+	}
+	fmt.Printf("  %-17s %d (%d admitted, %d rejected, %.1f%% admitted)\n",
+		arrivalsLabel, total, st.Admitted, st.Rejected, 100*float64(st.Admitted)/float64(max(total, 1)))
 	fmt.Printf("  throughput        %.1f admissions/sec over %v\n", r.AdmissionsPerSec(), r.Elapsed.Round(time.Millisecond))
 	fmt.Printf("  optimistic retry  %d commit conflicts, %d re-mapping rounds\n", st.Conflicts, st.Retries)
 	fmt.Printf("  template reuse    %d of %d admissions (%.1f%%)\n",
@@ -152,6 +177,15 @@ func validateFlags() error {
 	if set["epoch"] && *epoch && set["cow"] && !*cow {
 		return fmt.Errorf("churn: -epoch needs -cow; epoch sharing only works on copy-on-write snapshots")
 	}
+	if *meshes < 1 {
+		return fmt.Errorf("churn: -meshes %d; need at least one mesh", *meshes)
+	}
+	if *rebal > 0 && *meshes <= 1 {
+		return fmt.Errorf("churn: -rebalance moves residents between meshes; give -meshes a value above 1")
+	}
+	if *compare && *meshes > 1 {
+		return fmt.Errorf("churn: -compare benchmarks the single-mesh pipeline; run fleet scaling via BenchmarkFleetAdmission (see EXPERIMENTS.md) instead")
+	}
 	return nil
 }
 
@@ -172,14 +206,22 @@ func main() {
 		opts.Resident = 2 * max(opts.Workers, 1)
 	}
 
-	fmt.Printf("churn: %d arrivals from a %d-structure catalogue onto a %d×%d mesh\n\n",
-		opts.Apps, opts.Catalogue, opts.Mesh, opts.Mesh)
+	target := fmt.Sprintf("a %d×%d mesh", opts.Mesh, opts.Mesh)
+	if opts.Meshes > 1 {
+		target = fmt.Sprintf("a fleet of %d %d×%d meshes", opts.Meshes, opts.Mesh, opts.Mesh)
+	}
+	fmt.Printf("churn: %d arrivals from a %d-structure catalogue onto %s\n\n",
+		opts.Apps, opts.Catalogue, target)
 	pipe := churn.Run(opts)
 	if pipe.ConfigErr != nil {
 		fmt.Fprintln(os.Stderr, pipe.ConfigErr)
 		os.Exit(2)
 	}
-	report(fmt.Sprintf("pipeline (%d workers, reuse %v, repair %v)", opts.Workers, opts.Reuse, opts.Repair), pipe)
+	label := fmt.Sprintf("pipeline (%d workers, reuse %v, repair %v)", opts.Workers, opts.Reuse, opts.Repair)
+	if opts.Meshes > 1 {
+		label = fmt.Sprintf("fleet (%d meshes, %d workers, reuse %v, repair %v)", opts.Meshes, opts.Workers, opts.Reuse, opts.Repair)
+	}
+	report(label, pipe)
 	ok := pipe.Clean && pipe.LedgerErr == nil
 
 	if *compare {

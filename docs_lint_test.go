@@ -22,6 +22,7 @@ func TestGodocCoverage(t *testing.T) {
 		"internal/arch",
 		"internal/core",
 		"internal/manager",
+		"internal/fleet",
 		"internal/churn",
 	}
 	for _, dir := range pkgs {

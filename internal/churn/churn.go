@@ -17,6 +17,7 @@ import (
 
 	"rtsm/internal/arch"
 	"rtsm/internal/core"
+	"rtsm/internal/fleet"
 	"rtsm/internal/manager"
 	"rtsm/internal/model"
 	"rtsm/internal/workload"
@@ -35,6 +36,19 @@ type Options struct {
 	// generator.
 	Mesh int
 	Seed int64
+	// Meshes federates the scenario across this many independent meshes
+	// behind a fleet placement router (see internal/fleet): each mesh is
+	// a separate Mesh×Mesh platform with its own manager, region locks
+	// and pipeline (Workers and Queue are split evenly, at least one
+	// each), arrivals are routed by sampled load scoring, and capacity
+	// rejections spill to sibling meshes before the final verdict.
+	// 0 or 1 keeps the single-manager pipeline — the pre-fleet path.
+	Meshes int
+	// Rebalance starts the fleet's background rebalancer with this
+	// period, draining best-effort residents from hot meshes to cold
+	// ones while the churn runs. 0 leaves it off. Only meaningful with
+	// Meshes > 1.
+	Rebalance time.Duration
 	// Catalogue is the number of distinct application structures in
 	// rotation; MaxUtil and PeriodNs shape them.
 	Catalogue int
@@ -227,11 +241,20 @@ func (o Options) arrival(i, endpointRegions int, w [model.NumPriorities]int) (*m
 
 // Result is the outcome of one churn run.
 type Result struct {
+	// Stats is the manager's counters — summed across meshes for fleet
+	// runs (PerMesh holds the unsummed members).
 	Stats   manager.Stats
 	Elapsed time.Duration
 	// Regions is the platform's region count: 1 for the global
-	// single-lock commit path, more when the scenario sharded it.
+	// single-lock commit path, more when the scenario sharded it. Fleet
+	// runs report the sum over all member meshes.
 	Regions int
+	// PerMesh holds each member mesh's own counters for fleet runs
+	// (len == Options.Meshes); nil for single-manager runs.
+	PerMesh []manager.Stats
+	// Fleet holds the placement router's counters (spills, overflow
+	// rejects, relocations) for fleet runs; zero otherwise.
+	Fleet fleet.Stats
 	// Clean reports that the ledger returned exactly to pristine after
 	// full churn; Drift details the difference when it did not.
 	Clean bool
@@ -262,6 +285,9 @@ func Run(o Options) Result {
 	}
 	if o.Batch < 0 {
 		return Result{ConfigErr: fmt.Errorf("churn: batch size %d is negative", o.Batch)}
+	}
+	if o.Meshes > 1 {
+		return runFleet(o, weights)
 	}
 	var plat *arch.Platform
 	endpointRegions := 1
@@ -356,6 +382,149 @@ func Run(o Options) Result {
 	r.Clean = final.Equal(pristine)
 	if !r.Clean {
 		r.Drift = pristine.Diff(final)
+	}
+	return r
+}
+
+// runFleet is Run's federated variant: the same arrival stream and
+// resident cap, but admissions go through a fleet of Meshes independent
+// platforms behind the placement router. Workers and queue slots are
+// split evenly across the member pipelines, so a fleet run spends the
+// same worker budget as the single-mesh run it is compared against.
+func runFleet(o Options, weights [model.NumPriorities]int) Result {
+	perWorkers := o.Workers / o.Meshes
+	if perWorkers < 1 {
+		perWorkers = 1
+	}
+	perQueue := o.Queue / o.Meshes
+	if perQueue < 1 {
+		perQueue = 1
+	}
+	specs := make([]workload.MeshSpec, o.Meshes)
+	for i := range specs {
+		// Distinct seeds give each mesh its own tile-type shuffle: the
+		// fleet is homogeneous in geometry but heterogeneous in layout.
+		specs[i] = workload.MeshSpec{
+			W: o.Mesh, H: o.Mesh,
+			Seed:       o.Seed + int64(i)*101,
+			RegionSize: o.RegionSize,
+		}
+	}
+	plats := workload.SyntheticFleetPlatforms(specs)
+	endpointRegions := 1
+	if o.RegionSize > 0 {
+		// Same geometry on every mesh, so the endpoint layout — and the
+		// round-robin pinning derived from it — is fleet-wide: a spilled
+		// arrival finds its SRC<r>/SINK<r> pair on any sibling.
+		endpointRegions = plats[0].RegionCount()
+		if o.GlobalLock {
+			for _, p := range plats {
+				p.PartitionRegions(0)
+			}
+		}
+	}
+	pristine := make([]arch.Residual, len(plats))
+	cfgs := make([]fleet.MeshConfig, len(plats))
+	for i, plat := range plats {
+		pristine[i] = plat.Residual()
+		m := manager.New(plat, core.Config{})
+		m.SetMappingReuse(o.Reuse)
+		m.SetRepair(o.Repair)
+		m.SetPreemption(o.Preempt)
+		m.SetCoWSnapshots(o.CoW)
+		m.SetEpochSnapshots(o.Epoch)
+		m.SetMaxRetries(o.Retries)
+		cfgs[i] = fleet.MeshConfig{
+			Manager: m,
+			Workers: perWorkers,
+			Queue:   perQueue,
+			Batch:   o.Batch,
+		}
+	}
+	f, err := fleet.New(fleet.Config{Seed: o.Seed}, cfgs...)
+	if err != nil {
+		return Result{ConfigErr: err}
+	}
+	if o.Rebalance > 0 {
+		f.StartRebalancer(o.Rebalance)
+	}
+
+	stopErr := func(name string, err error) {
+		if o.ErrWriter != nil {
+			fmt.Fprintf(o.ErrWriter, "churn: stop %s: %v\n", name, err)
+		}
+	}
+	start := time.Now()
+	pending := make(chan (<-chan fleet.Outcome), o.Resident)
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		var residents []string
+		// stop departs one resident through the fleet, which finds the
+		// mesh it lives on. Mid-relocation residents are requeued exactly
+		// as in the single-mesh run.
+		stop := func(name string) {
+			err := f.Stop(name)
+			switch {
+			case err == nil:
+			case errors.Is(err, manager.ErrRelocating):
+				residents = append(residents, name)
+			default:
+				stopErr(name, err)
+			}
+		}
+		for ch := range pending {
+			out := <-ch
+			if !out.Admitted {
+				continue
+			}
+			residents = append(residents, out.App)
+			if len(residents) > o.Resident {
+				oldest := residents[0]
+				residents = residents[1:]
+				stop(oldest)
+			}
+		}
+		for len(residents) > 0 {
+			name := residents[0]
+			residents = residents[1:]
+			stop(name)
+		}
+	}()
+	for i := 0; i < o.Apps; i++ {
+		ch, err := f.Submit(o.arrival(i, endpointRegions, weights))
+		if err != nil {
+			stopErr(fmt.Sprintf("submit app-%d", i), err)
+			break
+		}
+		pending <- ch
+	}
+	close(pending)
+	f.Close()
+	<-collectorDone
+	elapsed := time.Since(start)
+
+	r := Result{Elapsed: elapsed, Fleet: f.Stats()}
+	for i := 0; i < f.Meshes(); i++ {
+		st := f.Manager(i).Stats()
+		r.PerMesh = append(r.PerMesh, st)
+		r.Stats.Add(st)
+		r.Regions += plats[i].RegionCount()
+	}
+	for i := 0; i < f.Meshes(); i++ {
+		if err := f.Manager(i).CheckInvariants(); err != nil {
+			r.LedgerErr = fmt.Errorf("mesh %d: %w", i, err)
+			return r
+		}
+	}
+	r.Clean = true
+	for i, plat := range plats {
+		final := plat.Residual()
+		if !final.Equal(pristine[i]) {
+			r.Clean = false
+			r.Drift = pristine[i].Diff(final)
+			break
+		}
 	}
 	return r
 }

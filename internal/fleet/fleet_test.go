@@ -1,0 +1,399 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rtsm/internal/arch"
+	"rtsm/internal/core"
+	"rtsm/internal/csdf"
+	"rtsm/internal/manager"
+	"rtsm/internal/model"
+	"rtsm/internal/workload"
+)
+
+// slotPlatform builds a k×1 mesh with exactly k ARM tiles plus pinned
+// stream endpoints. Each test application reserves 0.6 of one ARM tile,
+// so a slotPlatform(k) mesh admits exactly k of them — saturation is a
+// constructed fact, not a tuned coincidence.
+func slotPlatform(k int) *arch.Platform {
+	plat := arch.NewMesh(fmt.Sprintf("slots-%d", k), k, 1, 800_000_000)
+	for i := 0; i < k; i++ {
+		plat.AttachTile(arch.TileSpec{Name: fmt.Sprintf("ARM%d", i), Type: arch.TypeARM,
+			At: arch.Pt(i, 0), ClockHz: 200e6, MemBytes: 32 << 10})
+	}
+	plat.AttachTile(arch.TileSpec{Name: "SRC", Type: arch.TypeSource, At: arch.Pt(0, 0),
+		ClockHz: 200e6, MemBytes: 8 << 10})
+	plat.AttachTile(arch.TileSpec{Name: "SINK", Type: arch.TypeSink, At: arch.Pt(0, 0),
+		ClockHz: 200e6, MemBytes: 8 << 10})
+	return plat
+}
+
+// slotApp is src → a → sink with one ARM implementation at utilisation
+// 0.6 (480 of an 800-cycle budget), so no two share a tile.
+func slotApp(name string, prio model.Priority) (*model.Application, *model.Library) {
+	app := model.NewApplication(name, model.QoS{PeriodNs: 4000, Priority: prio})
+	src := app.AddPinnedProcess("src", "SRC")
+	a := app.AddProcess("a")
+	sink := app.AddPinnedProcess("sink", "SINK")
+	app.Connect(src, a, 16, 4)
+	app.Connect(a, sink, 16, 4)
+	lib := model.NewLibrary()
+	lib.Add(&model.Implementation{
+		Process: "a", TileType: arch.TypeARM,
+		WCET:            csdf.Vals(2, 480, 2),
+		In:              map[string]csdf.Pattern{"in": csdf.Vals(16, 0, 0)},
+		Out:             map[string]csdf.Pattern{"out": csdf.Vals(0, 0, 16)},
+		EnergyPerPeriod: 40, MemBytes: 1024,
+	})
+	return app, lib
+}
+
+// slotFleet builds a fleet of meshes with the given slot counts.
+func slotFleet(t *testing.T, cfg Config, slots ...int) *Fleet {
+	t.Helper()
+	mcs := make([]MeshConfig, len(slots))
+	for i, k := range slots {
+		mcs[i] = MeshConfig{Manager: manager.New(slotPlatform(k), core.Config{}), Workers: 1}
+	}
+	f, err := New(cfg, mcs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// checkLedgers verifies every mesh's reservation ledger.
+func checkLedgers(t *testing.T, f *Fleet) {
+	t.Helper()
+	for i := 0; i < f.Meshes(); i++ {
+		if err := f.Manager(i).CheckInvariants(); err != nil {
+			t.Errorf("mesh %d ledger: %v", i, err)
+		}
+	}
+}
+
+// TestSingleMeshDegradesToPlainManager pins the degenerate case: a fleet
+// of one mesh behaves exactly like its manager — same admissions, same
+// rejection error type, never a spill — so wrapping a deployment in a
+// fleet costs nothing until a second mesh exists.
+func TestSingleMeshDegradesToPlainManager(t *testing.T) {
+	f := slotFleet(t, Config{}, 2)
+	defer f.Close()
+
+	for i := 0; i < 2; i++ {
+		app, lib := slotApp(fmt.Sprintf("app-%d", i), model.BestEffort)
+		out := f.Admit(app, lib)
+		if !out.Admitted || out.Mesh != 0 || out.Spills != 0 {
+			t.Fatalf("admission %d: admitted=%v mesh=%d spills=%d, want clean mesh-0 admission (%v)",
+				i, out.Admitted, out.Mesh, out.Spills, out.Err)
+		}
+	}
+	app, lib := slotApp("app-overflow", model.BestEffort)
+	out := f.Admit(app, lib)
+	if out.Admitted {
+		t.Fatal("third 0.6-utilisation app fit a two-slot mesh")
+	}
+	if out.Spills != 0 {
+		t.Fatalf("single-mesh fleet spilled %d times; there are no siblings", out.Spills)
+	}
+	var rej *manager.RejectionError
+	if !errors.As(out.Err, &rej) {
+		t.Fatalf("fleet rejection is %T, want *manager.RejectionError as from a plain manager", out.Err)
+	}
+	if f.MeshOf("app-overflow") != -1 {
+		t.Error("rejected app still has a placement")
+	}
+	if err := f.Stop("app-0"); err != nil {
+		t.Fatal(err)
+	}
+	app, lib = slotApp("app-after", model.BestEffort)
+	if out := f.Admit(app, lib); !out.Admitted {
+		t.Fatalf("freed slot not reusable: %v", out.Err)
+	}
+	checkLedgers(t, f)
+}
+
+// TestSpillToSibling pins the overflow path: when the routed mesh is
+// full and a sibling has room, the arrival lands on the sibling with
+// exactly one spill recorded, and the placement follows it.
+func TestSpillToSibling(t *testing.T) {
+	f := slotFleet(t, Config{Seed: 1}, 1, 1)
+	defer f.Close()
+
+	// Two slots fleet-wide: both admissions land, wherever routed (the
+	// second spills if routed onto the first's mesh).
+	for i := 0; i < 2; i++ {
+		app, lib := slotApp(fmt.Sprintf("app-%d", i), model.BestEffort)
+		if out := f.Admit(app, lib); !out.Admitted {
+			t.Fatalf("admission %d failed with a free mesh available: %v", i, out.Err)
+		}
+	}
+	m0 := f.Manager(0).LoadEstimate().Running()
+	m1 := f.Manager(1).LoadEstimate().Running()
+	if m0 != 1 || m1 != 1 {
+		t.Fatalf("residents split %d/%d, want 1/1 (spill should find the free mesh)", m0, m1)
+	}
+	if a, b := f.MeshOf("app-0"), f.MeshOf("app-1"); a == b || a < 0 || b < 0 {
+		t.Fatalf("placements %d/%d, want distinct meshes", a, b)
+	}
+	checkLedgers(t, f)
+}
+
+// TestSaturatedFleetRejectsExactlyOnce pins exactly-one-outcome under
+// total saturation: the arrival tries the routed mesh, spills across
+// every sibling, and the caller sees one final rejection — not one per
+// mesh, not zero.
+func TestSaturatedFleetRejectsExactlyOnce(t *testing.T) {
+	const meshes = 3
+	f := slotFleet(t, Config{Seed: 2}, 1, 1, 1)
+	defer f.Close()
+
+	for i := 0; i < meshes; i++ {
+		app, lib := slotApp(fmt.Sprintf("fill-%d", i), model.BestEffort)
+		if out := f.Admit(app, lib); !out.Admitted {
+			t.Fatalf("fill %d failed: %v", i, out.Err)
+		}
+	}
+	before := f.Stats()
+	app, lib := slotApp("overflow", model.BestEffort)
+	ch, err := f.Submit(app, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := <-ch
+	if !ok {
+		t.Fatal("outcome channel closed without a verdict")
+	}
+	if out.Admitted {
+		t.Fatal("admitted into a fully saturated fleet")
+	}
+	if out.Spills != meshes-1 {
+		t.Fatalf("Spills = %d, want %d (every sibling tried once)", out.Spills, meshes-1)
+	}
+	if !manager.IsRetryableRejection(out.Err) {
+		t.Fatalf("saturation rejection not retryable: %v", out.Err)
+	}
+	select {
+	case extra, open := <-ch:
+		if open {
+			t.Fatalf("second outcome delivered: %+v", extra)
+		}
+	default: // exactly one buffered outcome — nothing further
+	}
+	st := f.Stats()
+	if got := st.OverflowRejects - before.OverflowRejects; got != 1 {
+		t.Fatalf("OverflowRejects = %d, want 1", got)
+	}
+	if got := st.Spills - before.Spills; got != uint64(meshes-1) {
+		t.Fatalf("Stats.Spills = %d, want %d", got, meshes-1)
+	}
+	if f.MeshOf("overflow") != -1 {
+		t.Error("rejected arrival left a placement behind")
+	}
+	// A duplicate of a resident is refused at the door, without burning
+	// mesh work.
+	dup, dupLib := slotApp("fill-0", model.BestEffort)
+	if _, err := f.Submit(dup, dupLib); err == nil {
+		t.Fatal("duplicate resident name accepted")
+	}
+	checkLedgers(t, f)
+}
+
+// TestStructuralRejectionDoesNotSpill pins the other half of the spill
+// signal: an application that is broken everywhere (pinned to a tile no
+// mesh has) is rejected by the routed mesh alone.
+func TestStructuralRejectionDoesNotSpill(t *testing.T) {
+	f := slotFleet(t, Config{Seed: 3}, 2, 2)
+	defer f.Close()
+	app := model.NewApplication("broken", model.QoS{PeriodNs: 4000})
+	src := app.AddPinnedProcess("src", "NO_SUCH_TILE")
+	a := app.AddProcess("a")
+	sink := app.AddPinnedProcess("sink", "SINK")
+	app.Connect(src, a, 16, 4)
+	app.Connect(a, sink, 16, 4)
+	_, lib := slotApp("donor", model.BestEffort)
+	out := f.Admit(app, lib)
+	if out.Admitted {
+		t.Fatal("admitted an app pinned to a nonexistent tile")
+	}
+	if out.Spills != 0 {
+		t.Fatalf("structural rejection spilled %d times, want 0", out.Spills)
+	}
+	if st := f.Stats(); st.Spills != 0 {
+		t.Fatalf("Stats.Spills = %d, want 0", st.Spills)
+	}
+}
+
+// TestHeterogeneousMeshSizes runs a fleet whose meshes differ in size:
+// five slots split 1/4. All five arrivals must land (spill covers
+// routing misses), both meshes must end up populated, and utilization
+// must read full on both.
+func TestHeterogeneousMeshSizes(t *testing.T) {
+	f := slotFleet(t, Config{Seed: 4}, 1, 4)
+	defer f.Close()
+	for i := 0; i < 5; i++ {
+		app, lib := slotApp(fmt.Sprintf("app-%d", i), model.BestEffort)
+		if out := f.Admit(app, lib); !out.Admitted {
+			t.Fatalf("admission %d failed with capacity left: %v", i, out.Err)
+		}
+	}
+	if got := f.Manager(0).LoadEstimate().Running(); got != 1 {
+		t.Errorf("small mesh runs %d, want exactly its 1 slot", got)
+	}
+	if got := f.Manager(1).LoadEstimate().Running(); got != 4 {
+		t.Errorf("large mesh runs %d, want exactly its 4 slots", got)
+	}
+	for i := 0; i < f.Meshes(); i++ {
+		if u := f.Manager(i).LoadEstimate().Utilization(); u < 0.5 {
+			t.Errorf("mesh %d utilization %v, want saturated (≥0.5)", i, u)
+		}
+	}
+	checkLedgers(t, f)
+}
+
+// TestRouterPrefersColdMesh pins the load-aware half of routing without
+// relying on sampling luck: with Sample covering every mesh, arrivals
+// must go to the emptier mesh first.
+func TestRouterPrefersColdMesh(t *testing.T) {
+	f := slotFleet(t, Config{Seed: 5, Sample: 2}, 2, 2)
+	defer f.Close()
+	for i := 0; i < 4; i++ {
+		app, lib := slotApp(fmt.Sprintf("app-%d", i), model.BestEffort)
+		out := f.Admit(app, lib)
+		if !out.Admitted {
+			t.Fatalf("admission %d failed: %v", i, out.Err)
+		}
+		if out.Spills != 0 {
+			t.Fatalf("admission %d spilled; full-sample routing should never need to", i)
+		}
+	}
+	if m0, m1 := f.Manager(0).LoadEstimate().Running(), f.Manager(1).LoadEstimate().Running(); m0 != 2 || m1 != 2 {
+		t.Fatalf("full-sample routing split %d/%d, want 2/2", m0, m1)
+	}
+}
+
+// TestRebalanceMovesBestEffortOnly pins the relocation flow: after the
+// fleet empties one mesh, a rebalance round moves best-effort residents
+// from the hot mesh to the cold one — and leaves Standard residents
+// alone, whatever the imbalance.
+func TestRebalanceMovesBestEffortOnly(t *testing.T) {
+	f := slotFleet(t, Config{Seed: 6, Sample: 2, RebalanceGap: 0.05, RebalanceMoves: 8}, 4, 4)
+	defer f.Close()
+	// Fill both meshes, then stop everything on mesh 1 to create the
+	// imbalance.
+	var onHot []string
+	for i := 0; i < 8; i++ {
+		prio := model.BestEffort
+		if i%2 == 1 {
+			prio = model.Standard
+		}
+		app, lib := slotApp(fmt.Sprintf("app-%d", i), prio)
+		out := f.Admit(app, lib)
+		if !out.Admitted {
+			t.Fatalf("admission %d failed: %v", i, out.Err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("app-%d", i)
+		if f.MeshOf(name) == 1 {
+			if err := f.Stop(name); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			onHot = append(onHot, name)
+		}
+	}
+	if len(onHot) == 0 {
+		t.Fatal("setup failed: mesh 0 empty")
+	}
+	moved := f.RebalanceOnce()
+	if moved == 0 {
+		t.Fatal("rebalance moved nothing across a maximal utilization gap")
+	}
+	st := f.Stats()
+	if st.Relocations != uint64(moved) {
+		t.Fatalf("Stats.Relocations = %d, want %d", st.Relocations, moved)
+	}
+	for _, name := range onHot {
+		mesh := f.MeshOf(name)
+		if mesh == -1 {
+			t.Fatalf("%s lost during rebalance", name)
+		}
+		// Standard residents must not have moved.
+		if f.Manager(mesh).Running() != nil {
+			for _, ad := range f.Manager(mesh).Running() {
+				if ad.App.Name == name && ad.Priority == model.Standard && mesh != 0 {
+					t.Fatalf("standard resident %s was relocated to mesh %d", name, mesh)
+				}
+			}
+		}
+	}
+	// Every resident is on exactly one mesh: fleet-wide running count
+	// equals the placement count.
+	total := int64(0)
+	for i := 0; i < f.Meshes(); i++ {
+		total += f.Manager(i).LoadEstimate().Running()
+	}
+	if total != int64(len(onHot)) {
+		t.Fatalf("fleet-wide residents = %d, want %d", total, len(onHot))
+	}
+	checkLedgers(t, f)
+}
+
+// TestFleetWithSyntheticPlatforms smoke-tests the fleet over the real
+// synthetic workload generator and heterogeneous region-partitioned
+// meshes (the shape cmd/churn -meshes drives), pipelined rather than
+// synchronous.
+func TestFleetWithSyntheticPlatforms(t *testing.T) {
+	plats := workload.SyntheticFleetPlatforms([]workload.MeshSpec{
+		{W: 4, H: 4, Seed: 11, RegionSize: 2},
+		{W: 8, H: 8, Seed: 12, RegionSize: 4},
+	})
+	f, err := New(Config{Seed: 7},
+		MeshConfig{Manager: manager.New(plats[0], core.Config{}), Workers: 2, Queue: 4},
+		MeshConfig{Manager: manager.New(plats[1], core.Config{}), Workers: 2, Queue: 4, Batch: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	type pend struct {
+		name string
+		ch   <-chan Outcome
+	}
+	var pending []pend
+	for i := 0; i < 24; i++ {
+		app, lib := workload.Synthetic(workload.SynthOptions{
+			Shape: workload.ShapeChain, Processes: 3, Seed: int64(i % 8),
+			MaxUtil: 0.2, PeriodNs: 40_000,
+		})
+		app.Name = fmt.Sprintf("syn-%d", i)
+		ch, err := f.Submit(app, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending = append(pending, pend{app.Name, ch})
+	}
+	admitted := 0
+	for _, p := range pending {
+		out := <-p.ch
+		if out.Admitted {
+			admitted++
+			if err := f.Stop(p.name); err != nil {
+				t.Fatalf("stop %s: %v", p.name, err)
+			}
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+	for i := 0; i < f.Meshes(); i++ {
+		if got := f.Manager(i).LoadEstimate().Running(); got != 0 {
+			t.Errorf("mesh %d still runs %d after full stop", i, got)
+		}
+	}
+	checkLedgers(t, f)
+}

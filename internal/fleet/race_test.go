@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rtsm/internal/manager"
+	"rtsm/internal/model"
+)
+
+// TestRelocationNeverDoubleBooks is the -race stress for the residency
+// invariant: two rebalancer goroutines and a stop/re-admit churn
+// goroutine hammer a two-mesh fleet concurrently. A double-booking —
+// one application reserved on two meshes at once — can only arise from
+// a broken relocation claim, and it necessarily leaves an orphan: the
+// fleet's placement knows one mesh, so the copy on the other mesh can
+// never be stopped. The verdict is therefore deterministic end-state:
+// after draining every resident through Fleet.Stop, every mesh ledger
+// and every load estimate must read exactly zero. (A live cross-mesh
+// scan cannot check this invariant — two sequential mesh scans straddle
+// legitimate moves — which is why the check is structured this way.)
+func TestRelocationNeverDoubleBooks(t *testing.T) {
+	f := slotFleet(t, Config{Seed: 42, Sample: 2, RebalanceGap: 0.01, RebalanceMoves: 4}, 6, 6)
+	defer f.Close()
+
+	// Residents that rebalance rounds will shuttle.
+	const residents = 5
+	for i := 0; i < residents; i++ {
+		app, lib := slotApp(fmt.Sprintf("res-%d", i), model.BestEffort)
+		if out := f.Admit(app, lib); !out.Admitted {
+			t.Fatalf("resident %d failed: %v", i, out.Err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Rebalancers: concurrent rounds must not trample each other's
+	// claims (the placement CAS is what -race and the end-state check
+	// exercise here).
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					f.RebalanceOnce()
+				}
+			}
+		}()
+	}
+	// Churn: stops race the relocation claims; every legal answer is
+	// success, ErrRelocating (claimed mid-move, retry), or not-running
+	// (just stopped by a prior round and not yet re-admitted).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; ; round++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := fmt.Sprintf("res-%d", round%residents)
+			err := f.Stop(name)
+			switch {
+			case err == nil:
+				app, lib := slotApp(name, model.BestEffort)
+				if out := f.Admit(app, lib); !out.Admitted {
+					// Saturation mid-shuffle is legal; retried next pass.
+					continue
+				}
+			case errors.Is(err, manager.ErrRelocating):
+				// Claimed by a rebalance round: retry next pass.
+			default:
+				// Not running right now: a previous churn pass stopped it.
+			}
+		}
+	}()
+
+	for i := 0; i < 400; i++ {
+		f.RebalanceOnce()
+	}
+	close(stop)
+	wg.Wait()
+	f.StopRebalancer()
+
+	if st := f.Stats(); st.RelocDrops != 0 {
+		// With 5 residents over 12 slots a relocation target can only
+		// refuse if load accounting broke.
+		t.Fatalf("rebalancer dropped %d residents on a half-empty fleet", st.RelocDrops)
+	}
+	// The load estimates must agree with the managers' ledgers.
+	for i := 0; i < f.Meshes(); i++ {
+		le := f.Manager(i).LoadEstimate()
+		if got, want := le.Running(), int64(len(f.Manager(i).Running())); got != want {
+			t.Errorf("mesh %d load estimate says %d running, ledger says %d", i, got, want)
+		}
+	}
+	// Drain every surviving resident through the fleet; ErrRelocating
+	// cannot persist once the rebalancers are quiet.
+	for i := 0; i < residents; i++ {
+		name := fmt.Sprintf("res-%d", i)
+		if f.MeshOf(name) == -1 {
+			continue // stopped by the churn goroutine and not re-admitted
+		}
+		if err := f.Stop(name); err != nil {
+			t.Errorf("drain %s: %v", name, err)
+		}
+	}
+	// Exactly-one-mesh residency, checked deterministically: if any app
+	// was ever double-booked, its orphan copy is still reserved on some
+	// mesh now — the fleet-level Stop cannot reach it.
+	for i := 0; i < f.Meshes(); i++ {
+		if left := f.Manager(i).Running(); len(left) != 0 {
+			t.Errorf("mesh %d holds %d orphaned residents after full drain: %v",
+				i, len(left), left[0].App.Name)
+		}
+		le := f.Manager(i).LoadEstimate()
+		if le.Running() != 0 || le.UtilMilli() != 0 {
+			t.Errorf("mesh %d load estimate not zero after drain: %d running, %d util",
+				i, le.Running(), le.UtilMilli())
+		}
+	}
+	checkLedgers(t, f)
+}

@@ -1,0 +1,189 @@
+package fleet
+
+import (
+	"time"
+
+	"rtsm/internal/model"
+)
+
+// DefaultRebalanceGap is the utilization spread (hottest minus coldest
+// mesh) below which RebalanceOnce leaves the fleet alone: relocation
+// costs a stop, a re-map and a commit per resident, so small imbalances
+// are cheaper to leave than to fix.
+const DefaultRebalanceGap = 0.15
+
+// DefaultRebalanceMoves bounds how many residents one RebalanceOnce round
+// moves. Rounds are cheap and the load estimate updates as each move
+// commits, so small rounds converge without overshooting.
+const DefaultRebalanceMoves = 2
+
+// rebalanceGap returns the configured or default utilization spread
+// threshold.
+func (f *Fleet) rebalanceGap() float64 {
+	if f.cfg.RebalanceGap > 0 {
+		return f.cfg.RebalanceGap
+	}
+	return DefaultRebalanceGap
+}
+
+// rebalanceMoves returns the configured or default per-round move budget.
+func (f *Fleet) rebalanceMoves() int {
+	if f.cfg.RebalanceMoves > 0 {
+		return f.cfg.RebalanceMoves
+	}
+	return DefaultRebalanceMoves
+}
+
+// RebalanceOnce runs one hot→cold relocation round and reports how many
+// residents it moved. It finds the most- and least-utilized meshes; when
+// their spread exceeds the rebalance gap it claims up to the move budget
+// of best-effort residents on the hot mesh (never Standard or Critical —
+// their placements are contracts, and moving them would trade a paying
+// tenant's latency for a housekeeping win) and moves each one:
+// stop on the hot mesh, admit on the cold one, fall back to re-admitting
+// on the origin if the cold mesh refuses. The placement state machine
+// (resident → relocating → resident) makes each move atomic against Stop
+// and against concurrent rounds: a resident is reserved on at most one
+// mesh at every instant, and anyone racing a move observes ErrRelocating
+// rather than a half-moved application.
+func (f *Fleet) RebalanceOnce() int {
+	if len(f.meshes) < 2 {
+		return 0
+	}
+	var hot, cold *mesh
+	var hotU, coldU float64
+	for _, ms := range f.meshes {
+		u := ms.load.Utilization()
+		if hot == nil || u > hotU {
+			hot, hotU = ms, u
+		}
+		if cold == nil || u < coldU {
+			cold, coldU = ms, u
+		}
+	}
+	if hot == cold || hotU-coldU < f.rebalanceGap() {
+		return 0
+	}
+	moved := 0
+	for _, ad := range hot.m.Running() {
+		if moved >= f.rebalanceMoves() {
+			break
+		}
+		if ad.Priority != model.BestEffort {
+			continue
+		}
+		if f.relocate(ad.App.Name, hot, cold) {
+			moved++
+		}
+	}
+	return moved
+}
+
+// relocate moves one resident from hot to cold, reporting success. On
+// any pre-move race (resident stopped, already relocating, claimed by
+// the hot mesh's preemption planner) it backs off without touching the
+// resident.
+func (f *Fleet) relocate(name string, hot, cold *mesh) bool {
+	v, ok := f.placements.Load(name)
+	if !ok {
+		return false
+	}
+	pl := v.(*placement)
+	if !pl.state.CompareAndSwap(placeResident, placeRelocating) {
+		return false
+	}
+	if pl.mesh.Load() != int32(hot.id) {
+		// The resident moved (or spilled) elsewhere since we listed it.
+		pl.state.Store(placeResident)
+		return false
+	}
+	ad, okAd := func() (*admissionRef, bool) {
+		for _, a := range hot.m.Running() {
+			if a.App.Name == name {
+				return &admissionRef{app: a.App, lib: a.Library()}, true
+			}
+		}
+		return nil, false
+	}()
+	if !okAd {
+		pl.state.Store(placeResident)
+		return false
+	}
+	if err := hot.m.Stop(name); err != nil {
+		// Mid-preemption on the hot mesh, or already gone: not ours to
+		// move this round.
+		pl.state.Store(placeResident)
+		return false
+	}
+	// From here the resident holds no reservations anywhere; the
+	// placement entry (state relocating) keeps its name claimed so no
+	// duplicate submission can sneak in.
+	if out := cold.m.Admit(ad.app, ad.lib); out.Admitted {
+		pl.mesh.Store(int32(cold.id))
+		pl.state.Store(placeResident)
+		f.stats.relocations.Add(1)
+		return true
+	}
+	// Cold mesh refused (it filled up since we sampled): put the
+	// resident back where it was.
+	if out := hot.m.Admit(ad.app, ad.lib); out.Admitted {
+		pl.state.Store(placeResident)
+		f.stats.relocFailbacks.Add(1)
+		return false
+	}
+	// Both refused: the resident is gone. Count it — a silent drop would
+	// read as "still running" forever.
+	f.placements.Delete(name)
+	f.stats.relocDrops.Add(1)
+	return false
+}
+
+// admissionRef carries what a relocation needs from the origin mesh's
+// admission record before Stop invalidates it.
+type admissionRef struct {
+	app *model.Application
+	lib *model.Library
+}
+
+// StartRebalancer runs RebalanceOnce every interval until StopRebalancer
+// or Close. A second call while one is running is a no-op.
+func (f *Fleet) StartRebalancer(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	f.rebalanceMu.Lock()
+	defer f.rebalanceMu.Unlock()
+	if f.rebalanceStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	f.rebalanceStop, f.rebalanceDone = stop, done
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				f.RebalanceOnce()
+			}
+		}
+	}()
+}
+
+// StopRebalancer halts the background rebalancer and waits for the
+// in-flight round, if any, to finish. Safe to call when none is running.
+func (f *Fleet) StopRebalancer() {
+	f.rebalanceMu.Lock()
+	stop, done := f.rebalanceStop, f.rebalanceDone
+	f.rebalanceStop, f.rebalanceDone = nil, nil
+	f.rebalanceMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

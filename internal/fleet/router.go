@@ -1,0 +1,169 @@
+package fleet
+
+import (
+	"sort"
+
+	"rtsm/internal/model"
+)
+
+// MeshStat is the router's per-mesh scoring input, sampled lock-free
+// from the mesh's manager.LoadEstimate at routing time.
+type MeshStat struct {
+	// Mesh is the mesh's index in the fleet's construction order.
+	Mesh int
+	// Running is the mesh's resident-application count.
+	Running int64
+	// Utilization is the fraction of the mesh's processing capacity its
+	// residents reserve, in [0,1].
+	Utilization float64
+	// EnergyMilli is the summed per-period mapped energy of the mesh's
+	// residents, in thousandths of the mapper's energy unit.
+	EnergyMilli int64
+	// CapacityMilli is the mesh's static processing capacity in
+	// milli-tiles (1000 per processing tile), so policies can
+	// distinguish a half-full large mesh from a half-full small one.
+	CapacityMilli int64
+	// InFlight is the number of admissions handed to this mesh whose
+	// outcome is still pending — queued behind its bounded pipeline,
+	// being mapped, or spilling through it. Workers is the mesh
+	// pipeline's worker count; InFlight/Workers is the queue-pressure
+	// signal that keeps the router from blocking on one busy pipeline
+	// while siblings sit idle.
+	InFlight int64
+	Workers  int
+}
+
+// Policy scores one candidate mesh for one arrival; the router picks the
+// lowest score among its sampled candidates and the spill path visits
+// siblings in ascending score order. Policies must be pure functions of
+// their inputs — they run on the submit hot path with no locks held.
+type Policy func(s MeshStat, app *model.Application) float64
+
+// DefaultPolicy balances on utilization headroom with two refinements.
+// Energy breaks ties between equally-utilized meshes (cheaper residents
+// first, a proxy for how much repair work a conflict would trigger). The
+// arrival's QoS class shifts the utilization curve: a Critical arrival
+// pays a steep penalty for nearly-full meshes — landing it where
+// admission would need preemption helps nobody — while a BestEffort
+// arrival scores meshes almost linearly, soaking up whatever headroom is
+// left. Capacity normalization is already inside Utilization, so
+// heterogeneous mesh sizes need no special casing here.
+func DefaultPolicy(s MeshStat, app *model.Application) float64 {
+	u := s.Utilization
+	score := u
+	if s.Workers > 0 {
+		// Queue pressure: every pending admission per worker counts like
+		// 20 utilization points, so a backed-up pipeline sheds arrivals
+		// to idle siblings long before its bounded queue would block the
+		// submitter.
+		score += 0.2 * float64(s.InFlight) / float64(s.Workers)
+	}
+	if app.QoS.Priority >= model.Critical && u > 0.7 {
+		// Past ~70% the preemption probability climbs; make hot meshes
+		// effectively invisible to critical arrivals when any alternative
+		// exists.
+		score += 4 * (u - 0.7)
+	}
+	if s.CapacityMilli > 0 {
+		// Energy tiebreak, scaled to stay well below one utilization
+		// percentage point.
+		score += float64(s.EnergyMilli) / float64(s.CapacityMilli) * 1e-3
+	}
+	return score
+}
+
+// stat samples one mesh's load estimate.
+func (f *Fleet) stat(ms *mesh) MeshStat {
+	return MeshStat{
+		Mesh:          ms.id,
+		Running:       ms.load.Running(),
+		Utilization:   ms.load.Utilization(),
+		EnergyMilli:   ms.load.EnergyMilli(),
+		CapacityMilli: ms.load.CapacityMilli(),
+		InFlight:      ms.inFlight.Load(),
+		Workers:       ms.workers,
+	}
+}
+
+// splitmix64 is the router's lock-free pseudo-random step: one atomic
+// add plus a few multiplies, no shared state beyond the counter.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// route picks the arrival's target mesh: sample cfg.Sample distinct
+// meshes (power-of-d-choices; d=2 by default), score each with the
+// policy, take the best. With one mesh there is nothing to choose; with
+// sample ≥ len(meshes) every mesh is scored. O(sample) per arrival,
+// lock-free.
+func (f *Fleet) route(app *model.Application) *mesh {
+	n := len(f.meshes)
+	if n == 1 {
+		return f.meshes[0]
+	}
+	sample := f.cfg.Sample
+	if sample > n {
+		sample = n
+	}
+	var best *mesh
+	bestScore := 0.0
+	if sample == n {
+		for _, ms := range f.meshes {
+			if s := f.cfg.Policy(f.stat(ms), app); best == nil || s < bestScore {
+				best, bestScore = ms, s
+			}
+		}
+		return best
+	}
+	// Distinct-candidate sampling via a Fisher–Yates prefix over a tiny
+	// stack-allocated index slice: sample is 2 in practice, n a handful.
+	r := splitmix64(f.rngState.Add(0x9e3779b97f4a7c15))
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for k := 0; k < sample; k++ {
+		j := k + int(r%uint64(n-k))
+		r = splitmix64(r)
+		idx[k], idx[j] = idx[j], idx[k]
+		ms := f.meshes[idx[k]]
+		if s := f.cfg.Policy(f.stat(ms), app); best == nil || s < bestScore {
+			best, bestScore = ms, s
+		}
+	}
+	return best
+}
+
+// spillOrder returns every mesh except the one already tried, sorted by
+// ascending policy score — the overflow path's visiting order. Runs off
+// the hot path (only after a capacity rejection), so it scores all
+// siblings rather than sampling.
+func (f *Fleet) spillOrder(app *model.Application, tried int) []*mesh {
+	type scored struct {
+		ms    *mesh
+		score float64
+	}
+	out := make([]scored, 0, len(f.meshes)-1)
+	for _, ms := range f.meshes {
+		if ms.id == tried {
+			continue
+		}
+		out = append(out, scored{ms, f.cfg.Policy(f.stat(ms), app)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score < out[j].score
+		}
+		return out[i].ms.id < out[j].ms.id
+	})
+	meshes := make([]*mesh, len(out))
+	for i, s := range out {
+		meshes[i] = s.ms
+	}
+	return meshes
+}

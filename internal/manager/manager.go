@@ -55,17 +55,46 @@ type Admission struct {
 	// with, kept so a preempted admission can be relocated (re-placed)
 	// without the original caller's involvement.
 	lib *model.Library
+
+	// loadUtilMilli and loadEnergyMilli cache the admission's
+	// contribution to the manager's LoadEstimate, set by loadCharge at
+	// commit so loadRelease subtracts exactly what was added.
+	loadUtilMilli   int64
+	loadEnergyMilli int64
 }
+
+// Library returns the implementation library the application was admitted
+// with, so a fleet rebalancer can re-admit the application on a sibling
+// mesh without the original caller's involvement.
+func (a *Admission) Library() *model.Library { return a.lib }
 
 // RejectionError reports why an application was not admitted.
 type RejectionError struct {
 	App    string
 	Reason string
+	// Retryable distinguishes capacity verdicts from structural ones. A
+	// retryable rejection means this mesh is out of room (no feasible
+	// mapping at current occupancy, commit retries exhausted under
+	// contention) — the identical application could well be admitted by a
+	// sibling mesh or by this one later. Non-retryable rejections are
+	// properties of the application itself (unknown pinned tiles, no
+	// implementations for a process) and will fail identically
+	// everywhere, so spilling them across a fleet is wasted work.
+	Retryable bool
 }
 
 // Error renders the rejection with the application name and reason.
 func (e *RejectionError) Error() string {
 	return fmt.Sprintf("manager: %q rejected: %s", e.App, e.Reason)
+}
+
+// IsRetryableRejection reports whether err is a rejection that another
+// mesh (or a later attempt) could plausibly admit. The fleet router's
+// spill path keys off this: capacity rejections overflow to the next-best
+// sibling, structural ones reject immediately.
+func IsRetryableRejection(err error) bool {
+	var rej *RejectionError
+	return errors.As(err, &rej) && rej.Retryable
 }
 
 // Outcome is the full per-admission report of one Admit call: how it
@@ -211,6 +240,41 @@ func (s Stats) AdmissionRate(p model.Priority) (float64, bool) {
 	return float64(c.Admitted) / float64(total), true
 }
 
+// Add accumulates o into s, field by field. Fleet-level reporting uses
+// it to sum member-mesh statistics into one aggregate view.
+func (s *Stats) Add(o Stats) {
+	s.Admitted += o.Admitted
+	s.Rejected += o.Rejected
+	s.Conflicts += o.Conflicts
+	s.Retries += o.Retries
+	s.TemplateHits += o.TemplateHits
+	s.StaleTemplates += o.StaleTemplates
+	s.ConflictRetries += o.ConflictRetries
+	s.RepairedConflicts += o.RepairedConflicts
+	s.RepairedTemplates += o.RepairedTemplates
+	s.RepairAttempts += o.RepairAttempts
+	s.FullRemaps += o.FullRemaps
+	s.Snapshots += o.Snapshots
+	s.SnapshotsShared += o.SnapshotsShared
+	s.CoWFaults += o.CoWFaults
+	s.Preemptions += o.Preemptions
+	s.Relocations += o.Relocations
+	s.Evictions += o.Evictions
+	s.Batches += o.Batches
+	s.BatchedAdmissions += o.BatchedAdmissions
+	s.BatchSpills += o.BatchSpills
+	s.BatchFallbacks += o.BatchFallbacks
+	for c := range s.ByClass {
+		s.ByClass[c].Admitted += o.ByClass[c].Admitted
+		s.ByClass[c].Rejected += o.ByClass[c].Rejected
+		s.ByClass[c].Latency += o.ByClass[c].Latency
+	}
+	s.Wait += o.Wait
+	s.Map += o.Map
+	s.Repair += o.Repair
+	s.Commit += o.Commit
+}
+
 // RepairRate reports the fraction of retry-or-stale rounds resolved by
 // incremental repair instead of a full remap; the second value is false
 // when no such round happened.
@@ -270,6 +334,10 @@ type Manager struct {
 	cow        bool           // copy-on-write snapshots instead of deep copies
 	epochShare bool           // admissions share epoch snapshots
 	epochLag   uint64         // staleness budget of a shared epoch snapshot
+
+	// load is the lock-free utilization summary fleet routers sample;
+	// maintained by loadCharge/loadRelease on the commit and stop paths.
+	load LoadEstimate
 }
 
 // New returns a manager over the given platform. The platform is owned by
@@ -294,6 +362,7 @@ func New(plat *arch.Platform, cfg core.Config) *Manager {
 		epochLag:   DefaultEpochLag,
 	}
 	plat.SetCoWFaultMeter(&m.faults)
+	m.initLoadCapacity()
 	return m
 }
 
@@ -544,7 +613,8 @@ func (m *Manager) admitFrom(app *model.Application, lib *model.Library, out Outc
 		if !retry {
 			m.mu.Lock()
 			m.finishLocked(&out, nil, &RejectionError{App: app.Name,
-				Reason: "batched plan lost its commit validation and retries are exhausted"})
+				Reason:    "batched plan lost its commit validation and retries are exhausted",
+				Retryable: true})
 			m.mu.Unlock()
 			return out
 		}
@@ -712,7 +782,7 @@ func (m *Manager) admitFrom(app *model.Application, lib *model.Library, out Outc
 				return out
 			}
 			m.mu.Lock()
-			m.finishLocked(&out, nil, &RejectionError{App: app.Name, Reason: reason})
+			m.finishLocked(&out, nil, &RejectionError{App: app.Name, Reason: reason, Retryable: true})
 			m.mu.Unlock()
 			return out
 		default:
@@ -791,7 +861,7 @@ func (m *Manager) admitFrom(app *model.Application, lib *model.Library, out Outc
 				return out
 			}
 			m.mu.Lock()
-			m.finishLocked(&out, nil, &RejectionError{App: app.Name, Reason: err.Error()})
+			m.finishLocked(&out, nil, &RejectionError{App: app.Name, Reason: err.Error(), Retryable: true})
 			m.mu.Unlock()
 			return out
 		}
@@ -806,6 +876,7 @@ func (m *Manager) finishLocked(out *Outcome, ad *Admission, err error) {
 		out.Admission = ad
 		m.stats.Admitted++
 		m.stats.ByClass[clampPriority(out.Priority)].Admitted++
+		m.loadCharge(ad)
 	} else {
 		out.Err = err
 		m.stats.Rejected++
@@ -848,6 +919,7 @@ func (m *Manager) Stop(name string) error {
 		return fmt.Errorf("manager: application %q is not running", name)
 	}
 	delete(m.running, name)
+	m.loadRelease(ad)
 	m.mu.Unlock()
 	plan, err := core.NewRemovalPlan(m.plat, ad.Result)
 	if err != nil {

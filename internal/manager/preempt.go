@@ -272,7 +272,11 @@ func (m *Manager) relocateVictim(v *Admission, out *Outcome, maxRetries int) {
 			m.locks.Unlock(footprint)
 			out.Commit += time.Since(commitStart)
 			m.mu.Lock()
+			// The relocated mapping may use different tiles and energy;
+			// re-charge so the load estimate tracks the new placement.
+			m.loadRelease(v)
 			v.Result = rep
+			m.loadCharge(v)
 			delete(m.preempting, v.App.Name)
 			m.running[v.App.Name] = v
 			m.stats.Relocations++
@@ -288,6 +292,7 @@ func (m *Manager) relocateVictim(v *Admission, out *Outcome, maxRetries int) {
 	}
 	m.mu.Lock()
 	delete(m.preempting, v.App.Name)
+	m.loadRelease(v)
 	m.stats.Evictions++
 	m.stats.RepairAttempts += repairAttempts
 	m.mu.Unlock()

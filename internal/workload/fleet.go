@@ -1,0 +1,35 @@
+package workload
+
+import "rtsm/internal/arch"
+
+// MeshSpec describes one mesh of a synthetic fleet: its dimensions, the
+// seed that shuffles its tile types, and its region partition (≤ 0 =
+// unpartitioned, one global region lock).
+type MeshSpec struct {
+	// W and H are the mesh dimensions in routers.
+	W, H int
+	// Seed drives the per-mesh tile-type shuffle; distinct seeds give
+	// heterogeneous tile mixes.
+	Seed int64
+	// RegionSize is the side length of the square region partition
+	// (see SyntheticRegionPlatform); ≤ 0 leaves the mesh one region.
+	RegionSize int
+}
+
+// SyntheticFleetPlatforms builds one independent platform per spec, for
+// multi-mesh federation scenarios. Meshes may be heterogeneous in size,
+// tile mix and region partition; each platform carries its own pinned
+// stream endpoints (SRC0/SINK0 at minimum, per-region pairs when
+// partitioned), so the same endpoint-pinned applications admit on any
+// member.
+func SyntheticFleetPlatforms(specs []MeshSpec) []*arch.Platform {
+	plats := make([]*arch.Platform, len(specs))
+	for i, s := range specs {
+		if s.RegionSize > 0 {
+			plats[i] = SyntheticRegionPlatform(s.W, s.H, s.Seed, s.RegionSize)
+		} else {
+			plats[i] = SyntheticPlatform(s.W, s.H, s.Seed)
+		}
+	}
+	return plats
+}

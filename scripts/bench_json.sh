@@ -1,36 +1,65 @@
 #!/usr/bin/env bash
-# Run the batched-vs-unbatched admission benchmark pair and render the
-# result as a small JSON artifact. The checked-in BENCH_6.json at the
-# repo root is a reference run of this script; CI re-runs it on every
-# build and uploads the fresh file alongside the raw `go test -bench`
-# output, so the batched-admission speedup is tracked as a first-class
-# comparison artifact (like the repair and sharding pairs in bench.txt).
+# Run a set of root-package benchmarks and render the result as a small
+# JSON artifact with per-benchmark metric means and headline speedups.
+# The checked-in BENCH_*.json files at the repo root are reference runs
+# of this script; CI re-runs it on every build and uploads the fresh
+# files alongside the raw `go test -bench` output, so the speedups are
+# tracked as first-class comparison artifacts (like the repair and
+# sharding pairs in bench.txt), and TestBenchTrajectory gates the
+# checked-in numbers against the acceptance bars.
 #
-# Both benchmarks drive the identical 4-worker churn workload through
-# the pipeline; they differ only in whether workers drain arrivals in
-# batches (merged multi-application commits, spill commits for
-# overlapping plans) or one at a time. Per-run numbers are noisy —
-# the per-item control's throughput swings with how many conflict
+# Per-run numbers are noisy — throughput swings with how many conflict
 # retries and template repairs the cross-worker races happen to
 # trigger — so the JSON records the mean over $COUNT runs of each
-# benchmark and the ratio of those means.
+# benchmark and ratios of those means.
 #
-# Usage: scripts/bench_json.sh
+# Usage: scripts/bench_json.sh [BENCHMARK...]
+#
+#   With no arguments, runs the batched-vs-unbatched admission pair and
+#   writes BENCH_6.json in its original format (the lone
+#   "speedup_admissions_per_sec" key is batched over unbatched).
+#
+#   With arguments, each BENCHMARK is an exact root-package benchmark
+#   name; the FIRST is the baseline. The JSON gains a "baseline" key and
+#   a "speedups_admissions_per_sec" object mapping every other benchmark
+#   to its admissions/sec mean over the baseline's.
+#
 #   BENCHTIME=2s COUNT=3 OUT=BENCH_6.json scripts/bench_json.sh
+#   BENCHTIME=800x COUNT=3 OUT=BENCH_7.json DESC="fleet admission: meshes 1 vs 2 vs 4" \
+#     scripts/bench_json.sh BenchmarkFleetAdmission1 BenchmarkFleetAdmission2 BenchmarkFleetAdmission4
 set -euo pipefail
 
 benchtime=${BENCHTIME:-2s}
 count=${COUNT:-3}
-out=${OUT:-BENCH_6.json}
-raw=${RAW:-bench-batch.txt}
 
-go test -run xxx -bench 'BenchmarkAdmission(Batched|Unbatched)$' \
-  -benchtime "$benchtime" -count "$count" . | tee "$raw"
+if [ "$#" -eq 0 ]; then
+  legacy=1
+  set -- BenchmarkAdmissionBatched BenchmarkAdmissionUnbatched
+  out=${OUT:-BENCH_6.json}
+  raw=${RAW:-bench-batch.txt}
+  desc=${DESC:-"batched vs unbatched pipeline admission"}
+else
+  legacy=0
+  out=${OUT:?set OUT=<file>.json when naming benchmarks explicitly}
+  raw=${RAW:-${out%.json}-raw.txt}
+  desc=${DESC:-"$*"}
+fi
 
-awk -v benchtime="$benchtime" -v count="$count" -v goversion="$(go version)" '
-/^BenchmarkAdmission(Batched|Unbatched)/ {
+pattern="^($(IFS='|'; echo "$*"))\$"
+
+go test -run xxx -bench "$pattern" -benchtime "$benchtime" -count "$count" . | tee "$raw"
+
+awk -v benchtime="$benchtime" -v count="$count" -v goversion="$(go version)" \
+    -v desc="$desc" -v legacy="$legacy" -v names="$*" '
+BEGIN {
+  n = split(names, order, " ")
+}
+/^Benchmark/ {
   name = $1
   sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+  want = 0
+  for (k = 1; k <= n; k++) if (order[k] == name) want = 1
+  if (!want) next
   seen[name] = 1
   runs[name]++
   # A benchmark line is: name, iterations, then (value, unit) pairs.
@@ -43,20 +72,17 @@ awk -v benchtime="$benchtime" -v count="$count" -v goversion="$(go version)" '
   }
 }
 END {
-  n = 2
-  order[0] = "BenchmarkAdmissionBatched"
-  order[1] = "BenchmarkAdmissionUnbatched"
-  for (k = 0; k < n; k++) if (!(order[k] in seen)) {
+  for (k = 1; k <= n; k++) if (!(order[k] in seen)) {
     print "bench_json: missing benchmark " order[k] > "/dev/stderr"
     exit 1
   }
   printf "{\n"
-  printf "  \"pair\": \"batched vs unbatched pipeline admission\",\n"
+  printf "  \"pair\": \"%s\",\n", desc
   printf "  \"go\": \"%s\",\n", goversion
   printf "  \"benchtime\": \"%s\",\n", benchtime
   printf "  \"count\": %d,\n", count
   printf "  \"benchmarks\": {\n"
-  for (k = 0; k < n; k++) {
+  for (k = 1; k <= n; k++) {
     name = order[k]
     printf "    \"%s\": {", name
     first = 1
@@ -67,12 +93,24 @@ END {
       first = 0
       printf "\"%s\": %.6g", unit, sum[name, unit] / runs[name]
     }
-    printf "}%s\n", (k < n - 1) ? "," : ""
+    printf "}%s\n", (k < n) ? "," : ""
   }
   printf "  },\n"
-  b = sum["BenchmarkAdmissionBatched", "admissions_per_sec"] / runs["BenchmarkAdmissionBatched"]
-  u = sum["BenchmarkAdmissionUnbatched", "admissions_per_sec"] / runs["BenchmarkAdmissionUnbatched"]
-  printf "  \"speedup_admissions_per_sec\": %.3f\n", b / u
+  if (legacy) {
+    # BENCH_6 compatibility: batched over unbatched, single scalar key.
+    b = sum[order[1], "admissions_per_sec"] / runs[order[1]]
+    u = sum[order[2], "admissions_per_sec"] / runs[order[2]]
+    printf "  \"speedup_admissions_per_sec\": %.3f\n", b / u
+  } else {
+    base = sum[order[1], "admissions_per_sec"] / runs[order[1]]
+    printf "  \"baseline\": \"%s\",\n", order[1]
+    printf "  \"speedups_admissions_per_sec\": {\n"
+    for (k = 2; k <= n; k++) {
+      v = sum[order[k], "admissions_per_sec"] / runs[order[k]]
+      printf "    \"%s\": %.3f%s\n", order[k], v / base, (k < n) ? "," : ""
+    }
+    printf "  }\n"
+  }
   printf "}\n"
 }' "$raw" > "$out"
 
