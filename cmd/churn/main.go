@@ -98,6 +98,10 @@ func report(label string, r churn.Result) {
 			fmt.Printf("  rebalancer        %d residents moved hot->cold, %d failbacks, %d drops\n",
 				fs.Relocations, fs.RelocFailbacks, fs.RelocDrops)
 		}
+		if fs.MeshEvictions > 0 {
+			fmt.Printf("  reconciler        %d placements retired after mesh-local evictions\n",
+				fs.MeshEvictions)
+		}
 		for i, ms := range r.PerMesh {
 			fmt.Printf("  mesh %-12d %d admitted, %d rejected, %d conflicts, %d template hits\n",
 				i, ms.Admitted, ms.Rejected, ms.Conflicts, ms.TemplateHits)

@@ -18,6 +18,7 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -160,6 +161,7 @@ type fleetCounters struct {
 	relocations     atomic.Uint64
 	relocFailbacks  atomic.Uint64
 	relocDrops      atomic.Uint64
+	meshEvictions   atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the fleet's routing counters.
@@ -183,6 +185,10 @@ type Stats struct {
 	// RelocDrops counts residents lost because both the target and the
 	// origin refused re-admission (the mesh filled up mid-move).
 	RelocDrops uint64
+	// MeshEvictions counts placements retired because a mesh's own
+	// preemption planner evicted the resident (discovered by the
+	// reconciliation sweep or by a rebalance move racing the eviction).
+	MeshEvictions uint64
 }
 
 // Stats snapshots the fleet's routing counters.
@@ -195,6 +201,7 @@ func (f *Fleet) Stats() Stats {
 		Relocations:     f.stats.relocations.Load(),
 		RelocFailbacks:  f.stats.relocFailbacks.Load(),
 		RelocDrops:      f.stats.relocDrops.Load(),
+		MeshEvictions:   f.stats.meshEvictions.Load(),
 	}
 }
 
@@ -374,12 +381,30 @@ func (f *Fleet) Stop(name string) error {
 		}
 	}
 	err := f.meshes[pl.mesh.Load()].m.Stop(name)
+	if errors.Is(err, manager.ErrRelocating) {
+		// The mesh's own preemption planner holds the resident: it will
+		// either return to the running set (relocated) or be evicted.
+		// Either way the app may still be resident right now, so the
+		// placement must survive — forgetting it here would free the name
+		// for resubmission while the original still holds reservations,
+		// breaking the exactly-one-mesh invariant. Hand the claim back and
+		// let the caller retry, exactly as with a single manager.
+		pl.state.Store(placeResident)
+		return err
+	}
+	// Success, or the mesh no longer knows the name (evicted between our
+	// claim and the mesh Stop): in both cases the app holds no
+	// reservations on its placement mesh, so the entry can go.
 	f.placements.Delete(name)
 	return err
 }
 
 // MeshOf reports which mesh the named application currently resides on
-// (-1 when it is not resident anywhere).
+// (-1 when it is not resident anywhere). One staleness window exists: a
+// resident evicted by its mesh's own preemption planner keeps its
+// placement — and so reads as resident here — until the next
+// reconciliation sweep (every RebalanceOnce round) or a Stop call
+// observes the eviction and retires the entry.
 func (f *Fleet) MeshOf(name string) int {
 	v, ok := f.placements.Load(name)
 	if !ok {

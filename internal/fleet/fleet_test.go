@@ -342,6 +342,86 @@ func TestRebalanceMovesBestEffortOnly(t *testing.T) {
 	checkLedgers(t, f)
 }
 
+// TestRouteDoesNotAllocate pins the router's hot path: picking a target
+// mesh must not touch the heap (the index scratch for distinct-candidate
+// sampling lives on the stack for fleets up to 16 meshes), so per-arrival
+// routing adds no GC pressure however fast admissions arrive.
+func TestRouteDoesNotAllocate(t *testing.T) {
+	f := slotFleet(t, Config{Seed: 8, Sample: 2}, 1, 1, 1, 1)
+	defer f.Close()
+	app, _ := slotApp("probe", model.BestEffort)
+	allocs := testing.AllocsPerRun(200, func() {
+		if f.route(app) == nil {
+			t.Error("route returned nil")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("route allocates %.1f objects per arrival, want 0", allocs)
+	}
+}
+
+// TestMeshEvictionFreesNameAfterReconcile pins the placement lifecycle
+// around a mesh-local eviction: when a mesh's own preemption planner
+// evicts a best-effort resident (no fleet involvement), the stale
+// placement blocks the name only until the next reconciliation sweep,
+// after which MeshOf reads -1 and the name is submittable again.
+func TestMeshEvictionFreesNameAfterReconcile(t *testing.T) {
+	f := slotFleet(t, Config{}, 1)
+	defer f.Close()
+	victim, vlib := slotApp("victim", model.BestEffort)
+	if out := f.Admit(victim, vlib); !out.Admitted {
+		t.Fatalf("victim admission failed: %v", out.Err)
+	}
+	crit, clib := slotApp("crit", model.Critical)
+	out := f.Admit(crit, clib)
+	if !out.Admitted {
+		t.Fatalf("critical arrival not admitted by preemption: %v", out.Err)
+	}
+	if len(out.Preempted) == 0 {
+		t.Fatal("critical admission preempted nobody; fixture broken")
+	}
+	if st := f.Manager(0).Stats(); st.Evictions == 0 {
+		t.Fatalf("victim was relocated (%d), not evicted; the one-slot fixture broke", st.Relocations)
+	}
+	// Until a sweep runs the fleet still believes the victim is resident:
+	// MeshOf reports the stale mesh and the name stays blocked (the
+	// documented staleness window).
+	if got := f.MeshOf("victim"); got != 0 {
+		t.Fatalf("pre-sweep MeshOf = %d, want stale 0", got)
+	}
+	dup, dupLib := slotApp("victim", model.BestEffort)
+	if _, err := f.Submit(dup, dupLib); err == nil {
+		t.Fatal("evicted name accepted pre-sweep; duplicate detection broken")
+	}
+	// One rebalance round reconciles the eviction even on a 1-mesh fleet.
+	f.RebalanceOnce()
+	if got := f.MeshOf("victim"); got != -1 {
+		t.Fatalf("post-sweep MeshOf = %d, want -1", got)
+	}
+	if got := f.Stats().MeshEvictions; got != 1 {
+		t.Fatalf("Stats.MeshEvictions = %d, want 1", got)
+	}
+	// The name is free again: the resubmission reaches the mesh (a
+	// capacity rejection, not a refusal at the door)...
+	re, reLib := slotApp("victim", model.BestEffort)
+	out = f.Admit(re, reLib)
+	if out.Admitted {
+		t.Fatal("resubmitted victim fit a slot occupied by the critical app")
+	}
+	if !manager.IsRetryableRejection(out.Err) {
+		t.Fatalf("resubmission refused at the door: %v", out.Err)
+	}
+	// ...and admitted for real once the slot frees up.
+	if err := f.Stop("crit"); err != nil {
+		t.Fatal(err)
+	}
+	re, reLib = slotApp("victim", model.BestEffort)
+	if out := f.Admit(re, reLib); !out.Admitted {
+		t.Fatalf("resubmission after the slot freed: %v", out.Err)
+	}
+	checkLedgers(t, f)
+}
+
 // TestFleetWithSyntheticPlatforms smoke-tests the fleet over the real
 // synthetic workload generator and heterogeneous region-partitioned
 // meshes (the shape cmd/churn -meshes drives), pipelined rather than

@@ -4,10 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	"rtsm/internal/core"
 	"rtsm/internal/manager"
 	"rtsm/internal/model"
+	"rtsm/internal/workload"
 )
 
 // TestRelocationNeverDoubleBooks is the -race stress for the residency
@@ -127,4 +130,141 @@ func TestRelocationNeverDoubleBooks(t *testing.T) {
 		}
 	}
 	checkLedgers(t, f)
+}
+
+// TestStopRacingMeshPreemptionNeverForgetsResidents is the -race stress
+// for Fleet.Stop against a mesh's own preemption planner. While critical
+// arrivals preempt best-effort residents (claiming them mesh-locally, so
+// Stop answers ErrRelocating mid-claim), a churn goroutine hammers
+// Fleet.Stop across the background set. The contract under fire: a Stop
+// that returns ErrRelocating must leave the placement intact — the
+// victim may be relocated back into the running set, and a fleet that
+// forgot it would both misreport MeshOf and free the name for a
+// duplicate residency. Verdict is deterministic end-state: every
+// resident the meshes report must still be reachable through the fleet,
+// and a full fleet-level drain must leave the ledger pristine.
+func TestStopRacingMeshPreemptionNeverForgetsResidents(t *testing.T) {
+	plat := workload.SyntheticPlatform(6, 6, 11)
+	pristine := plat.Residual()
+	m := manager.New(plat, core.Config{})
+	// Several workers: the hammer goroutines' re-admissions must not
+	// serialize behind the critical admissions, or no Stop ever lands
+	// inside a preemption window.
+	f, err := New(Config{Seed: 9}, MeshConfig{Manager: m, Workers: 4, Queue: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Small best-effort background: cheap to preempt, and scattered slack
+	// keeps relocation (not just eviction) in play — the dangerous case is
+	// precisely a victim that returns to the running set after Stop saw
+	// ErrRelocating.
+	mkBG := func(i int) (*model.Application, *model.Library) {
+		app, lib := workload.Synthetic(workload.SynthOptions{
+			Shape: workload.ShapeChain, Processes: 3, Seed: int64(i % 7),
+			MaxUtil: 0.12, PeriodNs: 400_000,
+		})
+		app.Name = fmt.Sprintf("bg-%d", i)
+		return app, lib
+	}
+	var bg []string
+	for i := 0; i < 400; i++ {
+		app, lib := mkBG(i)
+		if out := f.Admit(app, lib); !out.Admitted {
+			break
+		}
+		bg = append(bg, app.Name)
+	}
+	if len(bg) == 0 {
+		t.Fatal("background never saturated the mesh")
+	}
+
+	stop := make(chan struct{})
+	var relocObserved atomic.Uint64
+	var wg sync.WaitGroup
+	// Three hammers with interleaved strides: at any instant some are in
+	// Stop while others are re-admitting, so Stops keep landing while a
+	// critical admission holds victims claimed.
+	for h := 0; h < 3; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			for i := h; ; i += 3 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				idx := i % len(bg)
+				err := f.Stop(bg[idx])
+				switch {
+				case err == nil:
+					// Re-admit so the mesh stays saturated; saturation
+					// rejections mid-storm are legal.
+					app, lib := mkBG(idx)
+					f.Admit(app, lib)
+				case errors.Is(err, manager.ErrRelocating):
+					relocObserved.Add(1)
+				default:
+					// Not running right now: stopped or evicted earlier,
+					// or mid-re-admission by a sibling hammer.
+				}
+			}
+		}(h)
+	}
+
+	// Overlapping critical arrivals keep preemption windows open across
+	// the storm rather than one at a time.
+	var crit []<-chan Outcome
+	for i := 0; i < 16; i++ {
+		app, lib := workload.Synthetic(workload.SynthOptions{
+			Shape: workload.ShapeChain, Processes: 3 + i%2, Seed: int64(i),
+			MaxUtil: 0.30, PeriodNs: 400_000, Priority: model.Critical,
+		})
+		app.Name = fmt.Sprintf("crit-%d", i)
+		ch, err := f.Submit(app, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crit = append(crit, ch)
+	}
+	for _, ch := range crit {
+		<-ch
+	}
+	close(stop)
+	wg.Wait()
+
+	if st := m.Stats(); st.Preemptions == 0 {
+		t.Fatal("storm produced no preemption; the stress exercised nothing")
+	}
+	// Reconcile mesh-local evictions, then: the fleet must still know
+	// every resident the mesh reports...
+	f.RebalanceOnce()
+	for _, ad := range m.Running() {
+		if got := f.MeshOf(ad.App.Name); got != 0 {
+			t.Errorf("resident %s forgotten by the fleet (MeshOf = %d)", ad.App.Name, got)
+		}
+	}
+	// ...and a fleet-level drain must reach all of them.
+	for _, ad := range m.Running() {
+		if err := f.Stop(ad.App.Name); err != nil {
+			t.Errorf("drain %s: %v", ad.App.Name, err)
+		}
+	}
+	if left := m.Running(); len(left) != 0 {
+		t.Fatalf("%d orphaned residents after full fleet drain: %s",
+			len(left), left[0].App.Name)
+	}
+	if final := m.Residual(); !final.Equal(pristine) {
+		d := pristine.Diff(final)
+		t.Fatalf("ledger not pristine after drain: %d tiles, %d links drifted",
+			len(d.Tiles), len(d.Links))
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Stop observed ErrRelocating %d times; victims: %d preempted (%d relocated, %d evicted); mesh evictions reconciled: %d",
+		relocObserved.Load(), m.Stats().Preemptions, m.Stats().Relocations,
+		m.Stats().Evictions, f.Stats().MeshEvictions)
 }

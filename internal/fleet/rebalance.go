@@ -1,8 +1,10 @@
 package fleet
 
 import (
+	"errors"
 	"time"
 
+	"rtsm/internal/manager"
 	"rtsm/internal/model"
 )
 
@@ -47,6 +49,7 @@ func (f *Fleet) rebalanceMoves() int {
 // mesh at every instant, and anyone racing a move observes ErrRelocating
 // rather than a half-moved application.
 func (f *Fleet) RebalanceOnce() int {
+	f.reconcile()
 	if len(f.meshes) < 2 {
 		return 0
 	}
@@ -79,6 +82,43 @@ func (f *Fleet) RebalanceOnce() int {
 	return moved
 }
 
+// reconcile retires placements whose resident is no longer known to its
+// placement mesh: the mesh's own preemption planner evicted it (victims
+// that no relocation could refit vanish mesh-locally, without the fleet
+// in the loop). Without this sweep an evicted best-effort resident would
+// read as resident in MeshOf forever and its name would stay blocked
+// from resubmission. Runs at the top of every RebalanceOnce round.
+//
+// The claim protocol makes the sweep safe against concurrent moves and
+// stops: an entry is only deleted after winning the resident→stopped CAS
+// and re-confirming, under that claim, that the mesh still does not know
+// the name. The pre-CAS StateOf check could race a full relocation cycle
+// (claim → move to a sibling → release), so the post-CAS recheck reads
+// the possibly-updated mesh index and restores the claim when the
+// resident turns out to be alive elsewhere.
+func (f *Fleet) reconcile() {
+	f.placements.Range(func(k, v any) bool {
+		name := k.(string)
+		pl := v.(*placement)
+		if pl.state.Load() != placeResident {
+			return true
+		}
+		if f.meshes[pl.mesh.Load()].m.StateOf(name) != manager.AppUnknown {
+			return true
+		}
+		if !pl.state.CompareAndSwap(placeResident, placeStopped) {
+			return true // claimed by Stop or a move; they own the verdict now
+		}
+		if f.meshes[pl.mesh.Load()].m.StateOf(name) != manager.AppUnknown {
+			pl.state.Store(placeResident)
+			return true
+		}
+		f.placements.Delete(name)
+		f.stats.meshEvictions.Add(1)
+		return true
+	})
+}
+
 // relocate moves one resident from hot to cold, reporting success. On
 // any pre-move race (resident stopped, already relocating, claimed by
 // the hot mesh's preemption planner) it backs off without touching the
@@ -106,13 +146,31 @@ func (f *Fleet) relocate(name string, hot, cold *mesh) bool {
 		return nil, false
 	}()
 	if !okAd {
+		// Not in the running set. Under our claim nothing else can move or
+		// re-admit it, so StateOf is authoritative: unknown means the mesh
+		// evicted it — retire the stale placement so the name frees up.
+		if hot.m.StateOf(name) == manager.AppUnknown {
+			f.placements.Delete(name)
+			f.stats.meshEvictions.Add(1)
+			return false
+		}
+		// Mid-preemption on the hot mesh: it may yet come back. Not ours
+		// to move this round.
 		pl.state.Store(placeResident)
 		return false
 	}
 	if err := hot.m.Stop(name); err != nil {
-		// Mid-preemption on the hot mesh, or already gone: not ours to
-		// move this round.
-		pl.state.Store(placeResident)
+		if errors.Is(err, manager.ErrRelocating) {
+			// Claimed by the hot mesh's preemption planner: back off and
+			// let it resolve (the reconciliation sweep retires the entry
+			// if the victim ends up evicted).
+			pl.state.Store(placeResident)
+			return false
+		}
+		// Not running on the hot mesh anymore: evicted between our listing
+		// and the Stop. Retire the stale placement under our claim.
+		f.placements.Delete(name)
+		f.stats.meshEvictions.Add(1)
 		return false
 	}
 	// From here the resident holds no reservations anywhere; the

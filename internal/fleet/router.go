@@ -99,8 +99,9 @@ func splitmix64(x uint64) uint64 {
 // route picks the arrival's target mesh: sample cfg.Sample distinct
 // meshes (power-of-d-choices; d=2 by default), score each with the
 // policy, take the best. With one mesh there is nothing to choose; with
-// sample ≥ len(meshes) every mesh is scored. O(sample) per arrival,
-// lock-free.
+// sample ≥ len(meshes) every mesh is scored. Per arrival: O(sample)
+// policy evaluations plus an O(n) index fill on a stack scratch —
+// lock-free and allocation-free for fleets up to the scratch size.
 func (f *Fleet) route(app *model.Application) *mesh {
 	n := len(f.meshes)
 	if n == 1 {
@@ -120,10 +121,19 @@ func (f *Fleet) route(app *model.Application) *mesh {
 		}
 		return best
 	}
-	// Distinct-candidate sampling via a Fisher–Yates prefix over a tiny
-	// stack-allocated index slice: sample is 2 in practice, n a handful.
+	// Distinct-candidate sampling via a Fisher–Yates prefix. The index
+	// scratch is a fixed-size array so typical fleets (n ≤ 16) keep the
+	// admission hot path allocation-free (pinned by
+	// TestRouteDoesNotAllocate); larger fleets pay one heap slice, and
+	// only until they exceed the scratch.
 	r := splitmix64(f.rngState.Add(0x9e3779b97f4a7c15))
-	idx := make([]int, n)
+	var scratch [16]int
+	idx := scratch[:]
+	if n > len(scratch) {
+		idx = make([]int, n)
+	} else {
+		idx = idx[:n]
+	}
 	for i := range idx {
 		idx[i] = i
 	}

@@ -932,6 +932,45 @@ func (m *Manager) Stop(name string) error {
 	return nil
 }
 
+// AppState classifies where an application stands in one manager's
+// lifecycle, for callers — like the fleet's placement reconciliation —
+// that must distinguish "gone for good" from "temporarily out of the
+// running set while the preemption planner holds it".
+type AppState int
+
+const (
+	// AppUnknown: the manager holds no record of the name — never
+	// admitted, stopped, or evicted by the preemption planner.
+	AppUnknown AppState = iota
+	// AppPending: submitted, admission outcome not yet decided.
+	AppPending
+	// AppRunning: resident with live reservations.
+	AppRunning
+	// AppPreempting: claimed by the preemption planner; it will either
+	// return to running (relocated) or become unknown (evicted).
+	AppPreempting
+)
+
+// StateOf reports the named application's lifecycle state. The answer is
+// atomic with respect to admissions, stops and preemption claims: a live
+// application is always in exactly one of the pending, running or
+// preempting sets, so AppUnknown means the manager truly does not hold
+// the application.
+func (m *Manager) StateOf(name string) AppState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.pending[name]; ok {
+		return AppPending
+	}
+	if _, ok := m.running[name]; ok {
+		return AppRunning
+	}
+	if _, ok := m.preempting[name]; ok {
+		return AppPreempting
+	}
+	return AppUnknown
+}
+
 // Running lists admitted applications in admission order.
 func (m *Manager) Running() []*Admission {
 	m.mu.Lock()
