@@ -43,6 +43,9 @@ var benchBars = []benchBar{
 	{file: "BENCH_6.json", key: "", min: 1.3},
 	{file: "BENCH_7.json", key: "BenchmarkFleetAdmission2", min: 1.7},
 	{file: "BENCH_7.json", key: "BenchmarkFleetAdmission4", min: 3.0},
+	// The journal must stay nearly free: ≥0.9x the bare fault-churn
+	// throughput (the reference run records ~parity; see BENCH_8.json).
+	{file: "BENCH_8.json", key: "BenchmarkAdmissionFaultChurnJournal", min: 0.9},
 }
 
 // TestBenchTrajectory gates the checked-in benchmark artifacts: every
@@ -68,13 +71,27 @@ func TestBenchTrajectory(t *testing.T) {
 			t.Errorf("%s is not registered in benchBars; every checked-in artifact needs a perf-trajectory bar", f)
 			continue
 		}
+		// A registered artifact that is unreadable, malformed or hollow
+		// fails its own loud check and the loop keeps going, so one bad
+		// file reports every problem instead of masking the others.
 		raw, err := os.ReadFile(f)
 		if err != nil {
-			t.Fatal(err)
+			t.Errorf("%s: unreadable: %v; regenerate it with scripts/bench_json.sh", f, err)
+			continue
 		}
 		var a benchArtifact
 		if err := json.Unmarshal(raw, &a); err != nil {
-			t.Fatalf("%s: %v", f, err)
+			t.Errorf("%s: malformed JSON: %v; regenerate it with scripts/bench_json.sh", f, err)
+			continue
+		}
+		if len(a.Benchmarks) == 0 {
+			t.Errorf("%s: no benchmarks recorded; regenerate it with scripts/bench_json.sh", f)
+			continue
+		}
+		for name, metrics := range a.Benchmarks {
+			if metrics["admissions_per_sec"] <= 0 {
+				t.Errorf("%s: benchmark %q lacks a positive admissions_per_sec; the artifact is truncated or hand-edited", f, name)
+			}
 		}
 		arts[f] = &a
 	}

@@ -21,6 +21,8 @@
 //	go run ./cmd/churn -regionsize 4 -batch 8  # merged multi-application commits
 //	go run ./cmd/churn -meshes 4             # fleet: 4 federated meshes, routed admission
 //	go run ./cmd/churn -meshes 4 -rebalance 5ms  # with background hot->cold rebalancing
+//	go run ./cmd/churn -faultrate 0.02       # fail a tile per ~50 arrivals, measure recovery
+//	go run ./cmd/churn -journal run.jsonl    # stream the hash-chained admission journal
 package main
 
 import (
@@ -55,6 +57,9 @@ var (
 	batch     = flag.Int("batch", 0, "drain up to K queued arrivals into one merged multi-application commit (<=1 = per-item admission)")
 	priomix   = flag.String("priomix", "", "mixed admission classes as bestEffort:standard:critical weights, e.g. 70:20:10 (empty = all best-effort)")
 	preempt   = flag.Bool("preempt", true, "let full-mesh priority arrivals preempt lower classes (relocation before eviction)")
+	faultrate = flag.Float64("faultrate", 0, "inject run-time tile faults at this expected rate per arrival, evacuating and relocating residents (0 = off)")
+	faultbias = flag.Float64("faultbias", 0, "region-bias pricing for fault-evacuation refits: positive steers evacuees toward hot-spare capacity")
+	journalTo = flag.String("journal", "", "stream the hash-chained admission journal to this file (single-mesh runs only)")
 	retries   = flag.Int("retries", manager.DefaultMaxRetries, "max re-mapping rounds per arrival")
 	compare   = flag.Bool("compare", false, "also run the sequential path and report the speedup")
 )
@@ -81,6 +86,8 @@ func options() churn.Options {
 		Batch:      *batch,
 		PrioMix:    *priomix,
 		Preempt:    *preempt,
+		FaultRate:  *faultrate,
+		FaultBias:  *faultbias,
 		Retries:    *retries,
 		ErrWriter:  os.Stderr,
 	}
@@ -148,6 +155,14 @@ func report(label string, r churn.Result) {
 		fmt.Printf("  preemption        %d victims displaced (%d relocated, %d evicted)\n",
 			st.Preemptions, st.Relocations, st.Evictions)
 	}
+	if st.FaultsInjected > 0 {
+		fmt.Printf("  faults            %d injected (%d residents relocated, %d dropped), recover mean %v, max %v\n",
+			st.FaultsInjected, st.FaultRelocated, st.FaultDropped,
+			r.MeanFaultRecover().Round(time.Microsecond), r.FaultRecoverMax.Round(time.Microsecond))
+	}
+	if r.JournalErr != nil {
+		fmt.Printf("  journal           WRITE FAILED: %v\n", r.JournalErr)
+	}
 	if total > 0 {
 		fmt.Printf("  mean latencies    wait %v, map %v, repair %v, commit %v\n",
 			(st.Wait / time.Duration(total)).Round(time.Microsecond),
@@ -190,6 +205,15 @@ func validateFlags() error {
 	if *compare && *meshes > 1 {
 		return fmt.Errorf("churn: -compare benchmarks the single-mesh pipeline; run fleet scaling via BenchmarkFleetAdmission (see EXPERIMENTS.md) instead")
 	}
+	if *faultrate < 0 {
+		return fmt.Errorf("churn: -faultrate %g is negative", *faultrate)
+	}
+	if *journalTo != "" && *meshes > 1 {
+		return fmt.Errorf("churn: -journal records one manager's hash chain; a fleet run would interleave %d of them", *meshes)
+	}
+	if *journalTo != "" && *compare {
+		return fmt.Errorf("churn: -journal and -compare would write two runs' chains into one file; journal one run at a time")
+	}
 	return nil
 }
 
@@ -203,6 +227,15 @@ func main() {
 	if _, err := churn.ParsePrioMix(opts.PrioMix); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *journalTo != "" {
+		jf, err := os.Create(*journalTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer jf.Close()
+		opts.Journal = jf
 	}
 	if opts.Resident <= 0 {
 		// Resolve the default here so the -compare run keeps the same
@@ -226,7 +259,7 @@ func main() {
 		label = fmt.Sprintf("fleet (%d meshes, %d workers, reuse %v, repair %v)", opts.Meshes, opts.Workers, opts.Reuse, opts.Repair)
 	}
 	report(label, pipe)
-	ok := pipe.Clean && pipe.LedgerErr == nil
+	ok := pipe.Clean && pipe.LedgerErr == nil && pipe.JournalErr == nil
 
 	if *compare {
 		seqOpts := opts

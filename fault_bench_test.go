@@ -1,0 +1,56 @@
+package rtsm
+
+import (
+	"io"
+	"testing"
+
+	"rtsm/internal/churn"
+)
+
+// The fault-churn pair prices the durability layer: the identical
+// churn-with-faults scenario runs once bare and once with the
+// hash-chained admission journal streaming every reservation event
+// (admissions, departures, fault releases, relocations, evictions,
+// fault flips) through the writer goroutine. Journaling happens inside
+// the commit's region-locked sections — that ordering is what makes
+// crash replay bit-for-bit — so the bar is about how much of that
+// critical-section work leaks into throughput: the journaled run must
+// hold ≥0.9x the bare run's admissions/sec. CI uploads the pair as
+// BENCH_8.json; TestBenchTrajectory gates the checked-in number.
+func benchmarkAdmissionFaultChurn(b *testing.B, journaled bool) {
+	o := churn.Defaults()
+	o.Apps = b.N
+	o.FaultRate = 0.02 // a tile fault per ~50 arrivals keeps evacuation hot
+	if journaled {
+		o.Journal = io.Discard
+	}
+	b.ResetTimer()
+	r := churn.Run(o)
+	b.StopTimer()
+	if r.ConfigErr != nil {
+		b.Fatal(r.ConfigErr)
+	}
+	if r.LedgerErr != nil {
+		b.Fatalf("ledger corrupted under benchmark load: %v", r.LedgerErr)
+	}
+	if r.JournalErr != nil {
+		b.Fatalf("journal writer failed: %v", r.JournalErr)
+	}
+	if !r.Clean {
+		b.Fatalf("ledger not pristine after churn: %d tiles, %d links drifted",
+			len(r.Drift.Tiles), len(r.Drift.Links))
+	}
+	if elapsed := b.Elapsed(); elapsed > 0 {
+		b.ReportMetric(float64(r.Stats.Admitted)/elapsed.Seconds(), "admissions/sec")
+	}
+	b.ReportMetric(float64(r.Stats.FaultsInjected), "faults")
+	b.ReportMetric(float64(r.Stats.FaultRelocated), "relocated")
+}
+
+// BenchmarkAdmissionFaultChurnNoJournal is the baseline: fault churn
+// with journaling off.
+func BenchmarkAdmissionFaultChurnNoJournal(b *testing.B) { benchmarkAdmissionFaultChurn(b, false) }
+
+// BenchmarkAdmissionFaultChurnJournal streams the journal during the
+// identical scenario. Acceptance bar: ≥0.9x the bare admissions/sec.
+func BenchmarkAdmissionFaultChurnJournal(b *testing.B) { benchmarkAdmissionFaultChurn(b, true) }

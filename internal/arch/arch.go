@@ -98,6 +98,11 @@ type Tile struct {
 	ReservedUtil float64
 	// Occupants counts processes currently assigned to the tile.
 	Occupants int
+	// Failed marks the tile as faulted at run time. A failed tile offers
+	// no free capacity (Residual reports it as exhausted and the mapper's
+	// step 1 skips it) but keeps its reservation ledger intact, so the
+	// residents being evacuated can still release what they hold.
+	Failed bool
 }
 
 // CycleBudget returns the number of clock cycles available on the tile per
@@ -137,7 +142,17 @@ type Link struct {
 	From, To    RouterID
 	CapBps      int64
 	ReservedBps int64
+	// Failed marks the link as faulted at run time. A failed link offers
+	// no free capacity — FreeBps reports 0, which keeps it out of every
+	// routing and validation path — while ReservedBps stays intact so
+	// evacuating residents release exactly what they reserved.
+	Failed bool
 }
 
-// FreeBps returns the link's unreserved capacity.
-func (l *Link) FreeBps() int64 { return l.CapBps - l.ReservedBps }
+// FreeBps returns the link's unreserved capacity; a failed link has none.
+func (l *Link) FreeBps() int64 {
+	if l.Failed {
+		return 0
+	}
+	return l.CapBps - l.ReservedBps
+}

@@ -46,7 +46,9 @@ func mutateRandomly(p *Platform, rng *rand.Rand, n int) {
 }
 
 // snapshotsIdentical compares two snapshots bit-for-bit: every tile and
-// link struct, the global version and the per-region version vector.
+// link struct (via PlatformsIdentical, shared with the crash-replay
+// equivalence suite), the global version and the per-region version
+// vector.
 func snapshotsIdentical(a, b *Snapshot) error {
 	if a.Version != b.Version {
 		return fmt.Errorf("versions differ: %d vs %d", a.Version, b.Version)
@@ -54,20 +56,7 @@ func snapshotsIdentical(a, b *Snapshot) error {
 	if !reflect.DeepEqual(a.RegionVersions, b.RegionVersions) {
 		return fmt.Errorf("region versions differ: %v vs %v", a.RegionVersions, b.RegionVersions)
 	}
-	if len(a.Plat.Tiles) != len(b.Plat.Tiles) || len(a.Plat.Links) != len(b.Plat.Links) {
-		return fmt.Errorf("resource counts differ")
-	}
-	for i := range a.Plat.Tiles {
-		if *a.Plat.Tiles[i] != *b.Plat.Tiles[i] {
-			return fmt.Errorf("tile %d differs: %+v vs %+v", i, *a.Plat.Tiles[i], *b.Plat.Tiles[i])
-		}
-	}
-	for i := range a.Plat.Links {
-		if *a.Plat.Links[i] != *b.Plat.Links[i] {
-			return fmt.Errorf("link %d differs: %+v vs %+v", i, *a.Plat.Links[i], *b.Plat.Links[i])
-		}
-	}
-	return nil
+	return PlatformsIdentical(a.Plat, b.Plat)
 }
 
 // TestCoWSnapshotMatchesDeepCopy is the CoW equivalence property: across

@@ -1,0 +1,120 @@
+package arch
+
+import "fmt"
+
+// This file is the runtime fault model. A production deployment of the
+// paper's run-time spatial mapper must survive tiles and links dying under
+// load: marking a resource failed zeroes its free capacity (so every
+// mapping, routing and validation path steers around it) while leaving its
+// reservation ledger intact (so the residents being evacuated can still
+// release exactly what they reserved). Failure is a region-versioned
+// reservation change — in-flight optimistic admissions whose snapshot
+// predates the fault re-validate against the failed resource and retry,
+// exactly as they would against a competing commit.
+//
+// All four mutators require the same serialization as any reservation
+// write: the resource's region lock when the platform is shared between
+// goroutines. They are copy-on-write correct (WTile/WLink fault the region
+// in first), so outstanding snapshots keep the pre-fault state.
+
+// FailTile marks a tile failed and records the change in the tile's region
+// version and the global version. Idempotent: failing a failed tile
+// reports false and bumps nothing. The caller must hold the tile's region
+// lock when the platform is shared.
+func (p *Platform) FailTile(id TileID) bool {
+	t := p.WTile(id)
+	if t.Failed {
+		return false
+	}
+	t.Failed = true
+	p.BumpRegion(p.RegionOfTile(id))
+	p.BumpVersion()
+	return true
+}
+
+// FailLink marks a link failed, with the same versioning, idempotence and
+// locking contract as FailTile.
+func (p *Platform) FailLink(id LinkID) bool {
+	l := p.WLink(id)
+	if l.Failed {
+		return false
+	}
+	l.Failed = true
+	p.BumpRegion(p.RegionOfLink(id))
+	p.BumpVersion()
+	return true
+}
+
+// RestoreTile clears a tile's failed flag (a repaired or hot-swapped
+// tile rejoining the platform), bumping the same versions as FailTile.
+// Idempotent; same locking contract.
+func (p *Platform) RestoreTile(id TileID) bool {
+	t := p.WTile(id)
+	if !t.Failed {
+		return false
+	}
+	t.Failed = false
+	p.BumpRegion(p.RegionOfTile(id))
+	p.BumpVersion()
+	return true
+}
+
+// RestoreLink clears a link's failed flag; see RestoreTile.
+func (p *Platform) RestoreLink(id LinkID) bool {
+	l := p.WLink(id)
+	if !l.Failed {
+		return false
+	}
+	l.Failed = false
+	p.BumpRegion(p.RegionOfLink(id))
+	p.BumpVersion()
+	return true
+}
+
+// FailedTiles returns the IDs of currently failed tiles, ascending.
+func (p *Platform) FailedTiles() []TileID {
+	var out []TileID
+	for _, t := range p.Tiles {
+		if t.Failed {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+// FailedLinks returns the IDs of currently failed links, ascending.
+func (p *Platform) FailedLinks() []LinkID {
+	var out []LinkID
+	for _, l := range p.Links {
+		if l.Failed {
+			out = append(out, l.ID)
+		}
+	}
+	return out
+}
+
+// PlatformsIdentical compares the complete reservation state of two
+// platforms struct by struct — every tile field (reservations, occupancy,
+// failure flag) and every link field must match exactly, bit for bit for
+// the float64 utilisation. Version counters are deliberately not compared:
+// two histories that reach the same resource state may disagree on how
+// many aborted commits bumped the counters along the way. The crash-replay
+// equivalence suite is built on this: a journal replay must land on a
+// platform for which PlatformsIdentical returns nil against the live one.
+func PlatformsIdentical(a, b *Platform) error {
+	if len(a.Tiles) != len(b.Tiles) || len(a.Links) != len(b.Links) {
+		return fmt.Errorf("shape differs: %d/%d tiles, %d/%d links",
+			len(a.Tiles), len(b.Tiles), len(a.Links), len(b.Links))
+	}
+	for i := range a.Tiles {
+		if *a.Tiles[i] != *b.Tiles[i] {
+			return fmt.Errorf("tile %d differs: %+v vs %+v", i, *a.Tiles[i], *b.Tiles[i])
+		}
+	}
+	for i := range a.Links {
+		if *a.Links[i] != *b.Links[i] {
+			return fmt.Errorf("link %d differs: %+v vs %+v", i, *a.Links[i], *b.Links[i])
+		}
+	}
+	return nil
+}

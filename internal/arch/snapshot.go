@@ -110,6 +110,13 @@ func (p *Platform) Residual() Residual {
 		if t.MaxOccupants > 0 {
 			slots = t.MaxOccupants - t.Occupants
 		}
+		if t.Failed {
+			// A failed tile has no usable capacity left, whatever its
+			// ledger says; reporting it as exhausted is what makes the
+			// repair engine's residual diff blame it and remap away.
+			r.Tiles[i] = TileResidual{Tile: t.ID}
+			continue
+		}
 		r.Tiles[i] = TileResidual{
 			Tile:         t.ID,
 			FreeMemBytes: t.FreeMem(),

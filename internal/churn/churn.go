@@ -18,6 +18,7 @@ import (
 	"rtsm/internal/arch"
 	"rtsm/internal/core"
 	"rtsm/internal/fleet"
+	"rtsm/internal/journal"
 	"rtsm/internal/manager"
 	"rtsm/internal/model"
 	"rtsm/internal/workload"
@@ -104,6 +105,22 @@ type Options struct {
 	// relocating them when possible. Only meaningful with a PrioMix that
 	// produces more than one class.
 	Preempt bool
+	// FaultRate injects run-time tile faults at this expected rate per
+	// arrival (e.g. 0.01 fails one pseudo-random processing tile per
+	// hundred arrivals): the tile's residents are evacuated and
+	// relocated or dropped while the churn keeps running, and every
+	// failed tile is restored before the final pristine check. 0 = off.
+	FaultRate float64
+	// FaultBias is the RegionBias applied to fault-evacuation
+	// relocations: positive values steer refits away from crowded
+	// regions, biasing evacuees toward hot-spare capacity. 0 keeps the
+	// mapper's configured pricing.
+	FaultBias float64
+	// Journal streams the manager's hash-chained admission journal to
+	// this writer (see internal/journal); nil leaves journaling off.
+	// Single-mesh scenarios only — a fleet would interleave the member
+	// meshes' chains into one unverifiable stream (Result.ConfigErr).
+	Journal io.Writer
 	// ErrWriter receives stop errors during the run; nil discards them.
 	ErrWriter io.Writer
 }
@@ -259,6 +276,14 @@ type Result struct {
 	// full churn; Drift details the difference when it did not.
 	Clean bool
 	Drift arch.ResidualDiff
+	// FaultRecoverTotal and FaultRecoverMax aggregate the per-fault
+	// time-to-recover of the FaultRate injections (fault counts live in
+	// Stats: FaultsInjected, FaultRelocated, FaultDropped, Restores).
+	FaultRecoverTotal time.Duration
+	FaultRecoverMax   time.Duration
+	// JournalErr is non-nil when the journal writer reported a failure
+	// during the run or on close.
+	JournalErr error
 	// LedgerErr is non-nil when CheckInvariants failed during teardown.
 	LedgerErr error
 	// ConfigErr is non-nil when the options were unusable (e.g. an
@@ -274,6 +299,15 @@ func (r Result) AdmissionsPerSec() float64 {
 	return float64(r.Stats.Admitted) / r.Elapsed.Seconds()
 }
 
+// MeanFaultRecover is the average per-fault time-to-recover, zero when
+// no fault was injected.
+func (r Result) MeanFaultRecover() time.Duration {
+	if r.Stats.FaultsInjected == 0 {
+		return 0
+	}
+	return r.FaultRecoverTotal / time.Duration(r.Stats.FaultsInjected)
+}
+
 // Run pushes Apps arrivals through a pipeline with the configured worker
 // count, keeping up to Resident applications running at once, then stops
 // everything and checks the ledger.
@@ -287,6 +321,9 @@ func Run(o Options) Result {
 		return Result{ConfigErr: fmt.Errorf("churn: batch size %d is negative", o.Batch)}
 	}
 	if o.Meshes > 1 {
+		if o.Journal != nil {
+			return Result{ConfigErr: fmt.Errorf("churn: journaling is per-manager; a fleet run would interleave %d hash chains", o.Meshes)}
+		}
 		return runFleet(o, weights)
 	}
 	var plat *arch.Platform
@@ -311,6 +348,13 @@ func Run(o Options) Result {
 	m.SetCoWSnapshots(o.CoW)
 	m.SetEpochSnapshots(o.Epoch)
 	m.SetMaxRetries(o.Retries)
+	m.SetFaultBias(o.FaultBias)
+	var jw *journal.Writer
+	if o.Journal != nil {
+		jw = journal.NewWriter(o.Journal, journal.Options{})
+		m.SetJournal(jw)
+	}
+	faults := newFaultInjector(o.FaultRate, o.Seed, []*arch.Platform{plat}, []*manager.Manager{m})
 	pipe := manager.NewPipeline(m, o.Workers, o.Queue)
 	if o.Batch > 1 {
 		pipe.SetBatch(o.Batch)
@@ -367,13 +411,23 @@ func Run(o Options) Result {
 			break
 		}
 		pending <- ch
+		faults.step()
 	}
 	close(pending)
 	pipe.Close()
 	<-collectorDone
+	// Full capacity must be back before the pristine check: a
+	// still-failed tile reads as exhausted in the residual.
+	faults.restoreAll()
 	elapsed := time.Since(start)
 
 	r := Result{Stats: m.Stats(), Elapsed: elapsed, Regions: plat.RegionCount()}
+	faults.record(&r)
+	if jw != nil {
+		if err := jw.Close(); err != nil {
+			r.JournalErr = err
+		}
+	}
 	if err := m.CheckInvariants(); err != nil {
 		r.LedgerErr = err
 		return r
@@ -425,6 +479,7 @@ func runFleet(o Options, weights [model.NumPriorities]int) Result {
 	}
 	pristine := make([]arch.Residual, len(plats))
 	cfgs := make([]fleet.MeshConfig, len(plats))
+	mgrs := make([]*manager.Manager, len(plats))
 	for i, plat := range plats {
 		pristine[i] = plat.Residual()
 		m := manager.New(plat, core.Config{})
@@ -434,6 +489,8 @@ func runFleet(o Options, weights [model.NumPriorities]int) Result {
 		m.SetCoWSnapshots(o.CoW)
 		m.SetEpochSnapshots(o.Epoch)
 		m.SetMaxRetries(o.Retries)
+		m.SetFaultBias(o.FaultBias)
+		mgrs[i] = m
 		cfgs[i] = fleet.MeshConfig{
 			Manager: m,
 			Workers: perWorkers,
@@ -448,6 +505,7 @@ func runFleet(o Options, weights [model.NumPriorities]int) Result {
 	if o.Rebalance > 0 {
 		f.StartRebalancer(o.Rebalance)
 	}
+	faults := newFaultInjector(o.FaultRate, o.Seed, plats, mgrs)
 
 	stopErr := func(name string, err error) {
 		if o.ErrWriter != nil {
@@ -498,13 +556,16 @@ func runFleet(o Options, weights [model.NumPriorities]int) Result {
 			break
 		}
 		pending <- ch
+		faults.step()
 	}
 	close(pending)
 	f.Close()
 	<-collectorDone
+	faults.restoreAll()
 	elapsed := time.Since(start)
 
 	r := Result{Elapsed: elapsed, Fleet: f.Stats()}
+	faults.record(&r)
 	for i := 0; i < f.Meshes(); i++ {
 		st := f.Manager(i).Stats()
 		r.PerMesh = append(r.PerMesh, st)

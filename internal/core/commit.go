@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"rtsm/internal/arch"
-	"rtsm/internal/model"
 )
 
 // This file is the commit phase of the admission pipeline: a mapping is
@@ -33,6 +32,11 @@ const (
 	ResTileNI
 	// ResLink: guaranteed-throughput bandwidth of one NoC link.
 	ResLink
+	// ResTileFailed: the tile is marked failed at run time; no plan may
+	// add reservations to it whatever its ledger says.
+	ResTileFailed
+	// ResLinkFailed: the link is marked failed at run time.
+	ResLinkFailed
 )
 
 // String names the capacity dimension for human-readable reports.
@@ -48,6 +52,10 @@ func (k ResourceKind) String() string {
 		return "tile-ni"
 	case ResLink:
 		return "link"
+	case ResTileFailed:
+		return "tile-failed"
+	case ResLinkFailed:
+		return "link-failed"
 	}
 	return "?"
 }
@@ -81,6 +89,10 @@ func (e ValidationError) Error() string {
 	switch e.Kind {
 	case ResLink:
 		return fmt.Sprintf("link %d capacity exhausted (%.0f of needed %.0f bps free)", e.Link, e.Avail, e.Need)
+	case ResTileFailed:
+		return fmt.Sprintf("tile %q has failed", e.TileName)
+	case ResLinkFailed:
+		return fmt.Sprintf("link %d has failed", e.Link)
 	case ResTileUtil:
 		return fmt.Sprintf("tile %q over-committed (util need %.3f, free %.3f)", e.TileName, e.Need, e.Avail)
 	case ResTileOccupancy:
@@ -133,9 +145,12 @@ type tileDelta struct {
 // per tile and per link so it can be validated against residual capacity
 // in one pass and applied atomically.
 type commitPlan struct {
-	app   *model.Application
-	tiles map[arch.TileID]*tileDelta
-	links map[arch.LinkID]int64
+	// appName identifies the application the plan reserves for. Only the
+	// name is kept (not the model.Application) so replay can rebuild
+	// plans from journaled deltas without the original workload objects.
+	appName string
+	tiles   map[arch.TileID]*tileDelta
+	links   map[arch.LinkID]int64
 	// arena backs the tileDelta values in one allocation; tile() hands
 	// out pointers into it while capacity lasts. Entries are never
 	// re-derived from the slice, so a fallback heap allocation past the
@@ -189,10 +204,10 @@ func planReservations(plat *arch.Platform, res *Result, strict bool) (*commitPla
 	// plan is rebuilt on every validate/commit round of the hot path.
 	chans := app.StreamChannels()
 	pl := &commitPlan{
-		app:   app,
-		tiles: make(map[arch.TileID]*tileDelta, len(mp.Tile)),
-		links: make(map[arch.LinkID]int64, 4*len(chans)),
-		arena: make([]tileDelta, 0, len(mp.Tile)),
+		appName: app.Name,
+		tiles:   make(map[arch.TileID]*tileDelta, len(mp.Tile)),
+		links:   make(map[arch.LinkID]int64, 4*len(chans)),
+		arena:   make([]tileDelta, 0, len(mp.Tile)),
 	}
 	for _, p := range app.MappableProcesses() {
 		im := mp.Impl[p.ID]
@@ -254,6 +269,11 @@ func (pl *commitPlan) violations(plat *arch.Platform) []ValidationError {
 	for _, tid := range tileIDs {
 		t := plat.Tile(tid)
 		d := pl.tiles[tid]
+		if t.Failed {
+			out = append(out, ValidationError{Kind: ResTileFailed, Tile: t.ID, TileName: t.Name, Link: -1,
+				Need: float64(d.occupants)})
+			continue
+		}
 		if t.ReservedMem+d.mem > t.MemBytes {
 			out = append(out, ValidationError{Kind: ResTileMem, Tile: t.ID, TileName: t.Name, Link: -1,
 				Need: float64(d.mem), Avail: float64(t.FreeMem())})
@@ -283,6 +303,11 @@ func (pl *commitPlan) violations(plat *arch.Platform) []ValidationError {
 	for _, lid := range linkIDs {
 		l := plat.Link(lid)
 		bps := pl.links[lid]
+		if l.Failed {
+			out = append(out, ValidationError{Kind: ResLinkFailed, Tile: arch.NoTile, Link: lid,
+				Need: float64(bps)})
+			continue
+		}
 		if l.ReservedBps+bps > l.CapBps {
 			out = append(out, ValidationError{Kind: ResLink, Tile: arch.NoTile, Link: lid,
 				Need: float64(bps), Avail: float64(l.FreeBps())})
@@ -312,7 +337,7 @@ func conflictRegions(vs []ValidationError) []arch.RegionID {
 // capacity, returning a ConflictError attributing every exhausted resource.
 func (pl *commitPlan) validate(plat *arch.Platform) error {
 	if vs := pl.violations(plat); len(vs) > 0 {
-		return &ConflictError{App: pl.app.Name, Violations: vs, Regions: conflictRegions(vs)}
+		return &ConflictError{App: pl.appName, Violations: vs, Regions: conflictRegions(vs)}
 	}
 	return nil
 }
@@ -437,7 +462,7 @@ func NewRemovalPlan(plat *arch.Platform, res *Result) (*Plan, error) {
 }
 
 // App returns the name of the application the plan reserves for.
-func (p *Plan) App() string { return p.pl.app.Name }
+func (p *Plan) App() string { return p.pl.appName }
 
 // Regions returns the plan's region footprint, ascending without
 // duplicates: exactly the region locks Validate, Commit and Release need.
@@ -451,6 +476,19 @@ func (p *Plan) Regions() []arch.RegionID { return p.pl.regions }
 // empty argument overlaps nothing.
 func (p *Plan) Overlaps(regions []arch.RegionID) bool {
 	return !regionsDisjoint(p.pl.regions, regions)
+}
+
+// UsesTile reports whether the plan holds reservations on the tile. The
+// fault evacuation uses it to find the residents a failed tile carried.
+func (p *Plan) UsesTile(id arch.TileID) bool {
+	_, ok := p.pl.tiles[id]
+	return ok
+}
+
+// UsesLink reports whether the plan holds reservations on the link.
+func (p *Plan) UsesLink(id arch.LinkID) bool {
+	_, ok := p.pl.links[id]
+	return ok
 }
 
 // Violations checks the plan against the platform's live residual

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sort"
+
+	"rtsm/internal/arch"
+)
+
+// This file exports a Plan's aggregated reservation deltas and rebuilds a
+// Plan from them. The durable admission journal records what each commit
+// changed — per-tile and per-link deltas, not the mapping that produced
+// them — so crash recovery can replay the exact reservation arithmetic
+// without the original workload objects. Util is the one float64 in the
+// ledger: replay applies the same aggregated per-plan value in a single
+// addition, which together with journal order matching commit order makes
+// the replayed platform bit-for-bit identical to the live one.
+
+// TileReservation is the aggregated delta one plan applies to one tile.
+type TileReservation struct {
+	Tile      arch.TileID
+	MemBytes  int64
+	Util      float64
+	Occupants int
+	InBps     int64
+	OutBps    int64
+}
+
+// LinkReservation is the aggregated delta one plan applies to one link.
+type LinkReservation struct {
+	Link arch.LinkID
+	Bps  int64
+}
+
+// Deltas returns the plan's aggregated per-tile and per-link reservation
+// deltas, sorted by resource ID. Together with the application name they
+// are sufficient to reconstruct the plan with NewDeltaPlan.
+func (p *Plan) Deltas() ([]TileReservation, []LinkReservation) {
+	tiles := make([]TileReservation, 0, len(p.pl.tiles))
+	for tid, d := range p.pl.tiles {
+		tiles = append(tiles, TileReservation{
+			Tile:      tid,
+			MemBytes:  d.mem,
+			Util:      d.util,
+			Occupants: d.occupants,
+			InBps:     d.inBps,
+			OutBps:    d.outBps,
+		})
+	}
+	sort.Slice(tiles, func(i, j int) bool { return tiles[i].Tile < tiles[j].Tile })
+	links := make([]LinkReservation, 0, len(p.pl.links))
+	for lid, bps := range p.pl.links {
+		links = append(links, LinkReservation{Link: lid, Bps: bps})
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i].Link < links[j].Link })
+	return tiles, links
+}
+
+// NewDeltaPlan rebuilds a Plan from journaled reservation deltas. The
+// result commits and releases exactly like the original plan — same
+// aggregated values, same region footprint — but carries no mapping, so
+// it cannot be repaired or relocated; it exists for replay and for
+// releasing residents whose Result did not survive a crash.
+func NewDeltaPlan(plat *arch.Platform, appName string,
+	tiles []TileReservation, links []LinkReservation) *Plan {
+	pl := &commitPlan{
+		appName: appName,
+		tiles:   make(map[arch.TileID]*tileDelta, len(tiles)),
+		links:   make(map[arch.LinkID]int64, len(links)),
+		arena:   make([]tileDelta, 0, len(tiles)),
+	}
+	for _, tr := range tiles {
+		d := pl.tile(tr.Tile)
+		d.mem += tr.MemBytes
+		d.util += tr.Util
+		d.occupants += tr.Occupants
+		d.inBps += tr.InBps
+		d.outBps += tr.OutBps
+	}
+	for _, lr := range links {
+		pl.links[lr.Link] += lr.Bps
+	}
+	pl.regions = pl.footprint(plat)
+	return &Plan{pl: pl}
+}

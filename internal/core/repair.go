@@ -125,6 +125,11 @@ type tileBudget struct {
 }
 
 func budgetFor(t *arch.Tile) *tileBudget {
+	if t.Failed {
+		// The ledger still shows free capacity, but a failed tile keeps
+		// nothing: every occupant must be re-placed elsewhere.
+		return &tileBudget{}
+	}
 	b := &tileBudget{
 		mem:   t.FreeMem(),
 		util:  1.0 - t.ReservedUtil,
@@ -157,7 +162,7 @@ func salvage(fresh *arch.Platform, res *Result, violations []ValidationError) (*
 	badLink := make(map[arch.LinkID]bool)
 	for _, v := range violations {
 		switch v.Kind {
-		case ResLink:
+		case ResLink, ResLinkFailed:
 			badLink[v.Link] = true
 		case ResTileNI:
 			badNI[v.Tile] = true

@@ -232,6 +232,9 @@ func (m *Mapper) firstFit(app *model.Application, work *arch.Platform, p *model.
 }
 
 func canHost(t *arch.Tile, memBytes int64, util float64) bool {
+	if t.Failed {
+		return false
+	}
 	if t.MaxOccupants > 0 && t.Occupants >= t.MaxOccupants {
 		return false
 	}

@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"errors"
+	"time"
+
+	"rtsm/internal/manager"
+)
+
+// Fleet-level fault propagation: a mesh that loses its control processor
+// (or enough of its fabric that keeping it in rotation is pointless) is
+// taken out of service as a unit. FailMesh flips the mesh's failed flag —
+// the placement router and the cross-mesh spill path skip it from that
+// instant, and the rebalancer neither feeds nor drains it — and then
+// drains every resident to the surviving meshes through the same
+// stop-and-readmit protocol the rebalancer uses, so each resident is
+// reserved on at most one mesh at every instant of the failover.
+
+// MeshFaultReport summarises one mesh failure and its drain.
+type MeshFaultReport struct {
+	// Failed is false when nothing changed: the mesh was already failed
+	// or the index is unknown.
+	Failed bool
+	// Residents is how many applications lived on the mesh at the fault.
+	// Drained of them were re-admitted on surviving siblings; the rest
+	// were not kept by this drain (every survivor refused, or a
+	// concurrent stop/relocation owned the resident).
+	Residents int
+	Drained   int
+	// Recover is the wall time from the fault to the last resident's
+	// outcome — the fleet's time-to-recover for this mesh.
+	Recover time.Duration
+}
+
+// Dropped is the residents the drain did not keep running anywhere.
+func (r MeshFaultReport) Dropped() int { return r.Residents - r.Drained }
+
+// FailMesh takes mesh id out of service and drains its residents to the
+// surviving meshes, best policy score first. New arrivals stop routing
+// or spilling to the mesh immediately; its pipeline keeps draining
+// already-queued work (those admissions still land on the failed mesh —
+// a real failover would fence the queue too, but the fleet cannot
+// retract work the mesh's workers already hold). Safe for concurrent
+// use with Submit, Stop and the rebalancer.
+func (f *Fleet) FailMesh(id int) MeshFaultReport {
+	if id < 0 || id >= len(f.meshes) {
+		return MeshFaultReport{}
+	}
+	ms := f.meshes[id]
+	if !ms.failed.CompareAndSwap(false, true) {
+		return MeshFaultReport{}
+	}
+	start := time.Now()
+	rep := MeshFaultReport{Failed: true}
+	for _, ad := range ms.m.Running() {
+		rep.Residents++
+		if f.drainResident(ad.App.Name, ms) {
+			rep.Drained++
+		}
+	}
+	rep.Recover = time.Since(start)
+	return rep
+}
+
+// RestoreMesh returns a failed mesh to service, reporting whether
+// anything changed. Its manager kept running throughout (the failure is
+// a routing-level verdict), so restored capacity is admissible on the
+// next arrival.
+func (f *Fleet) RestoreMesh(id int) bool {
+	if id < 0 || id >= len(f.meshes) {
+		return false
+	}
+	return f.meshes[id].failed.CompareAndSwap(true, false)
+}
+
+// drainResident moves one resident off a failed mesh: claim its
+// placement, stop it on the failed mesh, and re-admit it on the
+// surviving meshes in ascending policy-score order. It mirrors the
+// rebalancer's relocate, with two differences: the target list is every
+// survivor (a failover wants the resident anywhere alive, not just on
+// the single coldest mesh), and there is no failback — the origin is
+// dead, so when every survivor refuses, the resident is dropped and
+// counted rather than re-admitted onto the failed mesh.
+func (f *Fleet) drainResident(name string, from *mesh) bool {
+	v, ok := f.placements.Load(name)
+	if !ok {
+		return false
+	}
+	pl := v.(*placement)
+	if !pl.state.CompareAndSwap(placeResident, placeRelocating) {
+		return false // a concurrent stop or relocation owns the verdict
+	}
+	if pl.mesh.Load() != int32(from.id) {
+		// Moved elsewhere since we listed it — it already survived.
+		pl.state.Store(placeResident)
+		return false
+	}
+	ad, okAd := func() (*admissionRef, bool) {
+		for _, a := range from.m.Running() {
+			if a.App.Name == name {
+				return &admissionRef{app: a.App, lib: a.Library()}, true
+			}
+		}
+		return nil, false
+	}()
+	if !okAd {
+		if from.m.StateOf(name) == manager.AppUnknown {
+			f.placements.Delete(name)
+			f.stats.meshEvictions.Add(1)
+			return false
+		}
+		// Mid-preemption on the failed mesh: its planner resolves the
+		// claim; the reconciliation sweep retires the entry if it ends in
+		// eviction.
+		pl.state.Store(placeResident)
+		return false
+	}
+	if err := from.m.Stop(name); err != nil {
+		if errors.Is(err, manager.ErrRelocating) {
+			pl.state.Store(placeResident)
+			return false
+		}
+		f.placements.Delete(name)
+		f.stats.meshEvictions.Add(1)
+		return false
+	}
+	// The resident holds no reservations anywhere; the relocating entry
+	// keeps its name claimed while the survivors are probed.
+	for _, sib := range f.spillOrder(ad.app, from.id) {
+		if out := sib.m.Admit(ad.app, ad.lib); out.Admitted {
+			pl.mesh.Store(int32(sib.id))
+			pl.state.Store(placeResident)
+			f.stats.drained.Add(1)
+			return true
+		} else if !manager.IsRetryableRejection(out.Err) {
+			break // structural: every survivor would refuse identically
+		}
+	}
+	// Every survivor refused: the resident is gone.
+	f.placements.Delete(name)
+	f.stats.drainDrops.Add(1)
+	return false
+}

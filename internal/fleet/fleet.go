@@ -121,6 +121,10 @@ type mesh struct {
 	// queue diverts arrivals to idle siblings instead of blocking the
 	// submitter.
 	inFlight atomic.Int64
+	// failed marks the mesh out of service (FailMesh): the router and
+	// the spill path skip it and the rebalancer neither feeds nor drains
+	// it — FailMesh's own drain owns moving its residents out.
+	failed atomic.Bool
 }
 
 // Fleet is the multi-mesh federation. Construct with New, admit with
@@ -162,6 +166,8 @@ type fleetCounters struct {
 	relocFailbacks  atomic.Uint64
 	relocDrops      atomic.Uint64
 	meshEvictions   atomic.Uint64
+	drained         atomic.Uint64
+	drainDrops      atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the fleet's routing counters.
@@ -189,6 +195,10 @@ type Stats struct {
 	// preemption planner evicted the resident (discovered by the
 	// reconciliation sweep or by a rebalance move racing the eviction).
 	MeshEvictions uint64
+	// Drained counts residents a FailMesh drain re-admitted on a
+	// surviving sibling; DrainDrops counts those every survivor refused.
+	Drained    uint64
+	DrainDrops uint64
 }
 
 // Stats snapshots the fleet's routing counters.
@@ -202,6 +212,8 @@ func (f *Fleet) Stats() Stats {
 		RelocFailbacks:  f.stats.relocFailbacks.Load(),
 		RelocDrops:      f.stats.relocDrops.Load(),
 		MeshEvictions:   f.stats.meshEvictions.Load(),
+		Drained:         f.stats.drained.Load(),
+		DrainDrops:      f.stats.drainDrops.Load(),
 	}
 }
 
@@ -279,6 +291,10 @@ func (f *Fleet) Submit(app *model.Application, lib *model.Library) (<-chan Outco
 		return nil, fmt.Errorf("fleet: application %q already submitted", app.Name)
 	}
 	target := f.route(app)
+	if target == nil {
+		f.placements.Delete(app.Name)
+		return nil, fmt.Errorf("fleet: no mesh in service")
+	}
 	pl.mesh.Store(int32(target.id))
 	target.inFlight.Add(1)
 	ch, err := target.pipe.Submit(app, lib)

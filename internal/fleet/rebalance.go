@@ -56,6 +56,9 @@ func (f *Fleet) RebalanceOnce() int {
 	var hot, cold *mesh
 	var hotU, coldU float64
 	for _, ms := range f.meshes {
+		if ms.failed.Load() {
+			continue // FailMesh's drain owns the failed mesh's residents
+		}
 		u := ms.load.Utilization()
 		if hot == nil || u > hotU {
 			hot, hotU = ms, u

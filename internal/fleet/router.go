@@ -105,6 +105,9 @@ func splitmix64(x uint64) uint64 {
 func (f *Fleet) route(app *model.Application) *mesh {
 	n := len(f.meshes)
 	if n == 1 {
+		if f.meshes[0].failed.Load() {
+			return nil
+		}
 		return f.meshes[0]
 	}
 	sample := f.cfg.Sample
@@ -115,6 +118,9 @@ func (f *Fleet) route(app *model.Application) *mesh {
 	bestScore := 0.0
 	if sample == n {
 		for _, ms := range f.meshes {
+			if ms.failed.Load() {
+				continue
+			}
 			if s := f.cfg.Policy(f.stat(ms), app); best == nil || s < bestScore {
 				best, bestScore = ms, s
 			}
@@ -142,8 +148,24 @@ func (f *Fleet) route(app *model.Application) *mesh {
 		r = splitmix64(r)
 		idx[k], idx[j] = idx[j], idx[k]
 		ms := f.meshes[idx[k]]
+		if ms.failed.Load() {
+			continue
+		}
 		if s := f.cfg.Policy(f.stat(ms), app); best == nil || s < bestScore {
 			best, bestScore = ms, s
+		}
+	}
+	if best == nil {
+		// Every sampled candidate was out of service: fall back to a full
+		// scan so a fleet with any live mesh never refuses an arrival at
+		// the routing stage.
+		for _, ms := range f.meshes {
+			if ms.failed.Load() {
+				continue
+			}
+			if s := f.cfg.Policy(f.stat(ms), app); best == nil || s < bestScore {
+				best, bestScore = ms, s
+			}
 		}
 	}
 	return best
@@ -160,7 +182,7 @@ func (f *Fleet) spillOrder(app *model.Application, tried int) []*mesh {
 	}
 	out := make([]scored, 0, len(f.meshes)-1)
 	for _, ms := range f.meshes {
-		if ms.id == tried {
+		if ms.id == tried || ms.failed.Load() {
 			continue
 		}
 		out = append(out, scored{ms, f.cfg.Policy(f.stat(ms), app)})

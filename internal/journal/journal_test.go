@@ -1,0 +1,270 @@
+package journal_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rtsm/internal/arch"
+	"rtsm/internal/core"
+	"rtsm/internal/journal"
+)
+
+// testPlatform builds a small mesh with one tile per router, enough to
+// exercise delta replay across several regions.
+func testPlatform() *arch.Platform {
+	p := arch.NewMesh("journal-test", 4, 4, 2_000_000_000)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			p.AttachTile(arch.TileSpec{
+				Name:     fmt.Sprintf("t%d_%d", x, y),
+				Type:     arch.TypeARM,
+				At:       arch.Pt(x, y),
+				ClockHz:  200_000_000,
+				MemBytes: 1 << 20,
+				NICapBps: 1_000_000_000,
+			})
+		}
+	}
+	p.PartitionRegions(2)
+	return p
+}
+
+// randomEvents generates a deterministic mixed event stream: admissions
+// with random reservation deltas, departures of random still-resident
+// apps (releasing exactly what they reserved), and fault/restore flips.
+func randomEvents(rng *rand.Rand, p *arch.Platform, n int) []journal.Event {
+	type resident struct {
+		name  string
+		tiles []journal.TileDelta
+		links []journal.LinkDelta
+	}
+	var residents []resident
+	var out []journal.Event
+	failedTiles := map[arch.TileID]bool{}
+	for i := 0; i < n; i++ {
+		switch r := rng.Intn(10); {
+		case r < 5 || len(residents) == 0 && r < 8:
+			name := fmt.Sprintf("app%d", i)
+			nt := 1 + rng.Intn(3)
+			tiles := make([]journal.TileDelta, 0, nt)
+			seen := map[arch.TileID]bool{}
+			for j := 0; j < nt; j++ {
+				tid := arch.TileID(rng.Intn(len(p.Tiles)))
+				if seen[tid] {
+					continue
+				}
+				seen[tid] = true
+				tiles = append(tiles, journal.TileDelta{
+					Tile:      tid,
+					MemBytes:  int64(rng.Intn(4096)),
+					UtilBits:  math.Float64bits(rng.Float64() * 0.01),
+					Occupants: 1,
+					InBps:     int64(rng.Intn(1000)),
+					OutBps:    int64(rng.Intn(1000)),
+				})
+			}
+			links := []journal.LinkDelta{{
+				Link: arch.LinkID(rng.Intn(len(p.Links))),
+				Bps:  int64(rng.Intn(10000)),
+			}}
+			residents = append(residents, resident{name, tiles, links})
+			out = append(out, journal.Event{Type: journal.EvAdmit, App: name,
+				Priority: rng.Intn(3), Tiles: tiles, Links: links})
+		case r < 8 && len(residents) > 0:
+			k := rng.Intn(len(residents))
+			v := residents[k]
+			residents = append(residents[:k], residents[k+1:]...)
+			out = append(out, journal.Event{Type: journal.EvDepart, App: v.name,
+				Tiles: v.tiles, Links: v.links})
+		default:
+			tid := arch.TileID(rng.Intn(len(p.Tiles)))
+			if failedTiles[tid] {
+				delete(failedTiles, tid)
+				out = append(out, journal.Event{Type: journal.EvRestoreTile, Tile: tid})
+			} else {
+				failedTiles[tid] = true
+				out = append(out, journal.Event{Type: journal.EvFailTile, Tile: tid})
+			}
+		}
+	}
+	return out
+}
+
+// applyEvents replays a verified event stream onto a fresh platform, the
+// minimal replay loop (manager.Replay layers resident bookkeeping on the
+// same arithmetic).
+func applyEvents(p *arch.Platform, events []journal.Event) {
+	for i := range events {
+		e := &events[i]
+		switch e.Type {
+		case journal.EvAdmit, journal.EvRelocate:
+			ts, ls := e.Reservations()
+			core.NewDeltaPlan(p, e.App, ts, ls).Commit(p)
+		case journal.EvDepart, journal.EvPreemptRelease, journal.EvFaultRelease:
+			ts, ls := e.Reservations()
+			core.NewDeltaPlan(p, e.App, ts, ls).Release(p)
+		case journal.EvFailTile:
+			p.FailTile(e.Tile)
+		case journal.EvRestoreTile:
+			p.RestoreTile(e.Tile)
+		case journal.EvFailLink:
+			p.FailLink(e.Link)
+		case journal.EvRestoreLink:
+			p.RestoreLink(e.Link)
+		}
+	}
+}
+
+// buildJournal writes the events through a Writer, optionally leaving
+// the last batch unsealed (crash simulation: no Close).
+func buildJournal(t testing.TB, events []journal.Event, batch int, sealAll bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := journal.NewWriter(&buf, journal.Options{BatchSize: batch})
+	for _, e := range events {
+		w.Append(e)
+	}
+	if sealAll {
+		if err := w.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	} else {
+		// Crash simulation: drain the IO queue but never seal, leaving
+		// events past the last batch-size seal as a torn tail.
+		w.Sync()
+	}
+	return buf.Bytes()
+}
+
+// TestJournalRoundTrip is the straight-line case: everything sealed,
+// everything verifies, replay matches a direct application of the same
+// deltas.
+func TestJournalRoundTrip(t *testing.T) {
+	p := testPlatform()
+	rng := rand.New(rand.NewSource(1))
+	events := randomEvents(rng, p, 200)
+	data := buildJournal(t, events, 16, true)
+
+	got, tail, err := journal.Verify(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if tail != 0 {
+		t.Fatalf("tail = %d after Close, want 0", tail)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("verified %d events, wrote %d", len(got), len(events))
+	}
+	direct := p.Clone()
+	applyEvents(direct, events)
+	replayed := p.Clone()
+	applyEvents(replayed, got)
+	if err := arch.PlatformsIdentical(direct, replayed); err != nil {
+		t.Fatalf("replay diverged from direct application: %v", err)
+	}
+}
+
+// TestJournalTornTail pins the crash semantics: events appended after
+// the last seal verify as tail, not as sealed state.
+func TestJournalTornTail(t *testing.T) {
+	p := testPlatform()
+	rng := rand.New(rand.NewSource(2))
+	events := randomEvents(rng, p, 50)
+	data := buildJournal(t, events, 16, false)
+	sealed, tail, err := journal.Verify(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if want := len(events) % 16; tail != want {
+		t.Fatalf("tail = %d, want %d", tail, want)
+	}
+	if len(sealed)+tail != len(events) {
+		t.Fatalf("sealed %d + tail %d != written %d", len(sealed), tail, len(events))
+	}
+}
+
+// sealedLength returns the byte length of the sealed region: everything
+// up to and including the last seal line.
+func sealedLength(data []byte) int {
+	end := 0
+	for i := 0; i < len(data); {
+		j := bytes.IndexByte(data[i:], '\n')
+		if j < 0 {
+			break
+		}
+		line := data[i : i+j]
+		if bytes.Contains(line, []byte(`"seal"`)) {
+			end = i + j + 1
+		}
+		i += j + 1
+	}
+	return end
+}
+
+// FuzzJournalChain is the ledger-integrity property suite:
+//
+//  1. any line-boundary prefix of a journal verifies (earlier seals stand
+//     on their own; later events count as torn tail),
+//  2. any single flipped byte inside the sealed region is detected,
+//  3. replaying the verified events is deterministic: two replays land on
+//     bit-for-bit identical platforms.
+func FuzzJournalChain(f *testing.F) {
+	f.Add(int64(1), uint8(40), uint8(8), uint16(100))
+	f.Add(int64(7), uint8(3), uint8(1), uint16(0))
+	f.Add(int64(42), uint8(200), uint8(64), uint16(9999))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, batch uint8, flip uint16) {
+		if n == 0 {
+			n = 1
+		}
+		p := testPlatform()
+		rng := rand.New(rand.NewSource(seed))
+		events := randomEvents(rng, p, int(n))
+		data := buildJournal(t, events, int(batch), true)
+
+		sealed, tail, err := journal.Verify(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("pristine journal failed verification: %v", err)
+		}
+		if tail != 0 || len(sealed) != len(events) {
+			t.Fatalf("pristine journal: %d sealed + %d tail, wrote %d",
+				len(sealed), tail, len(events))
+		}
+
+		// Property 1: every line-boundary prefix verifies.
+		lines := strings.SplitAfter(string(data), "\n")
+		prefix := ""
+		for _, line := range lines {
+			prefix += line
+			s, tl, err := journal.Verify(strings.NewReader(prefix))
+			if err != nil {
+				t.Fatalf("prefix of %d bytes failed verification: %v", len(prefix), err)
+			}
+			if len(s)+tl > len(events) {
+				t.Fatalf("prefix yielded %d events + %d tail, more than the %d written",
+					len(s), tl, len(events))
+			}
+		}
+
+		// Property 2: a flipped byte inside the sealed region is detected.
+		if end := sealedLength(data); end > 0 {
+			pos := int(flip) % end
+			mut := append([]byte(nil), data...)
+			mut[pos] ^= 0xff
+			if _, _, err := journal.Verify(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("flipped byte at %d of %d went undetected", pos, end)
+			}
+		}
+
+		// Property 3: replay is deterministic.
+		a, b := p.Clone(), p.Clone()
+		applyEvents(a, sealed)
+		applyEvents(b, sealed)
+		if err := arch.PlatformsIdentical(a, b); err != nil {
+			t.Fatalf("two replays of the same journal diverged: %v", err)
+		}
+	})
+}

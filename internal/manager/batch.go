@@ -5,6 +5,7 @@ import (
 
 	"rtsm/internal/arch"
 	"rtsm/internal/core"
+	"rtsm/internal/journal"
 )
 
 // Batched admission: the amortization layer over the whole pipeline
@@ -222,6 +223,12 @@ func (m *Manager) admitBatch(jobs []*job, now time.Time) (fallbacks int) {
 			}
 		}
 		kept.Commit(m.plat)
+		// Journal the members in Add order — the order kept.Commit just
+		// applied them in — inside the union lock, so per-region journal
+		// order matches the merged commit's arithmetic order.
+		for _, it := range committed {
+			m.journalPlan(journal.EvAdmit, it.j.req.App.Name, it.out.Priority, it.plan)
+		}
 		m.locks.Unlock(union)
 		commitElapsed := time.Since(commitStart)
 
@@ -322,6 +329,7 @@ func (m *Manager) spillCommit(it *batchItem, tc *templateCache) bool {
 		return false
 	}
 	it.plan.Commit(m.plat)
+	m.journalPlan(journal.EvAdmit, it.j.req.App.Name, it.out.Priority, it.plan)
 	m.locks.Unlock(footprint)
 	it.committed = true
 	it.out.Attempts = 1

@@ -98,6 +98,12 @@ func (m *Manager) initLoadCapacity() {
 // cached values make the eventual loadRelease exact even if the estimate
 // inputs drift (e.g. a relocation moved the app before it stopped).
 func (m *Manager) loadCharge(ad *Admission) {
+	if ad.Result == nil {
+		// Replay-rebuilt resident: utilisation was precomputed from the
+		// journaled deltas at replay time; energy did not survive.
+		m.load.add(ad.loadUtilMilli, ad.loadEnergyMilli)
+		return
+	}
 	var utilMilli int64
 	for _, p := range ad.App.MappableProcesses() {
 		im := ad.Result.Mapping.Impl[p.ID]

@@ -33,6 +33,7 @@ import (
 
 	"rtsm/internal/arch"
 	"rtsm/internal/core"
+	"rtsm/internal/journal"
 	"rtsm/internal/model"
 )
 
@@ -61,6 +62,13 @@ type Admission struct {
 	// commit so loadRelease subtracts exactly what was added.
 	loadUtilMilli   int64
 	loadEnergyMilli int64
+
+	// plan is the reservation plan of a replay-rebuilt resident, whose
+	// Result (and lib) did not survive the crash: journaled deltas are
+	// all that is known about it. Stop and the fault evacuation release
+	// this plan verbatim; live admissions leave it nil and derive their
+	// removal plan from Result on demand.
+	plan *core.Plan
 }
 
 // Library returns the implementation library the application was admitted
@@ -208,6 +216,15 @@ type Stats struct {
 	BatchedAdmissions uint64
 	BatchSpills       uint64
 	BatchFallbacks    uint64
+	// FaultsInjected counts FailTile/FailLink calls that failed a live
+	// resource; Restores counts resources returned to service. Every
+	// resident evacuated off a failed resource ends up in exactly one of
+	// FaultRelocated (kept running on a refit placement) or FaultDropped
+	// (no relocation fit; its reservations are gone).
+	FaultsInjected uint64
+	FaultRelocated uint64
+	FaultDropped   uint64
+	Restores       uint64
 	// ByClass splits admitted/rejected per priority class, indexed by
 	// model.Priority.
 	ByClass [model.NumPriorities]ClassStats
@@ -264,6 +281,10 @@ func (s *Stats) Add(o Stats) {
 	s.BatchedAdmissions += o.BatchedAdmissions
 	s.BatchSpills += o.BatchSpills
 	s.BatchFallbacks += o.BatchFallbacks
+	s.FaultsInjected += o.FaultsInjected
+	s.FaultRelocated += o.FaultRelocated
+	s.FaultDropped += o.FaultDropped
+	s.Restores += o.Restores
 	for c := range s.ByClass {
 		s.ByClass[c].Admitted += o.ByClass[c].Admitted
 		s.ByClass[c].Rejected += o.ByClass[c].Rejected
@@ -338,6 +359,15 @@ type Manager struct {
 	// load is the lock-free utilization summary fleet routers sample;
 	// maintained by loadCharge/loadRelease on the commit and stop paths.
 	load LoadEstimate
+
+	// jw is the durable admission journal, nil when journaling is off.
+	// Wired once by SetJournal before the first admission and read
+	// without a lock from every commit path.
+	jw *journal.Writer
+
+	// faultBias overrides the mapper's region-bias price when relocating
+	// fault victims (0 = inherit cfg.RegionBias); see SetFaultBias.
+	faultBias float64
 }
 
 // New returns a manager over the given platform. The platform is owned by
@@ -449,6 +479,57 @@ func (m *Manager) SetMappingReuse(on bool) {
 	} else if !on {
 		m.templates = nil
 	}
+}
+
+// SetJournal wires the durable admission journal: every reservation
+// change — admission, departure, preemption release, relocation,
+// eviction, fault, restore — is appended inside the same region-locked
+// critical section that applies it, so per-region journal order equals
+// commit order; that, plus the per-plan aggregated deltas each event
+// carries, is what lets Replay rebuild the platform bit for bit. Wire
+// the journal before the first admission (the field is read without a
+// lock on the hot path); nil disables journaling.
+func (m *Manager) SetJournal(w *journal.Writer) { m.jw = w }
+
+// SetFaultBias sets the region-bias price the fault evacuation's
+// relocation rounds use in the mapper's placement steps: a positive
+// bias makes an evacuated resident prefer tiles inside regions its
+// surviving placement already occupies — the hot-spare pattern, where
+// spare capacity held in a resident's own regions absorbs its failed
+// tiles without widening the lock footprint. Zero (the default)
+// inherits the manager's configured RegionBias. Set before injecting
+// faults; the field is read without a lock.
+func (m *Manager) SetFaultBias(bias float64) { m.faultBias = bias }
+
+// journalPlan appends one reservation-bearing event carrying the plan's
+// aggregated deltas. Callers hold the region locks of the plan's
+// footprint — emitting inside the critical section is what keeps
+// journal order equal to commit order per region.
+func (m *Manager) journalPlan(t journal.EventType, app string, prio model.Priority, plan *core.Plan) {
+	if m.jw == nil {
+		return
+	}
+	tiles, links := plan.Deltas()
+	jt, jl := journal.FromDeltas(tiles, links)
+	m.jw.Append(journal.Event{Type: t, App: app, Priority: int(prio), Tiles: jt, Links: jl})
+}
+
+// journalEvent appends a delta-free event (fault, restore, evict).
+func (m *Manager) journalEvent(e journal.Event) {
+	if m.jw == nil {
+		return
+	}
+	m.jw.Append(e)
+}
+
+// removalPlan returns the plan releasing everything the admission
+// reserves: the stored delta plan for a replay-rebuilt resident, or one
+// aggregated from the Result for a live admission.
+func (m *Manager) removalPlan(ad *Admission) (*core.Plan, error) {
+	if ad.plan != nil {
+		return ad.plan, nil
+	}
+	return core.NewRemovalPlan(m.plat, ad.Result)
 }
 
 // Platform exposes the managed platform. It is safe to read only while no
@@ -658,6 +739,7 @@ func (m *Manager) admitFrom(app *model.Application, lib *model.Library, out Outc
 					verr := plan.Validate(m.plat)
 					if verr == nil {
 						plan.Commit(m.plat)
+						m.journalPlan(journal.EvAdmit, app.Name, prio, plan)
 						m.locks.Unlock(footprint)
 						out.Commit += time.Since(commitStart)
 						m.mu.Lock()
@@ -810,6 +892,7 @@ func (m *Manager) admitFrom(app *model.Application, lib *model.Library, out Outc
 			}
 			if err == nil {
 				plan.Commit(m.plat)
+				m.journalPlan(journal.EvAdmit, app.Name, prio, plan)
 				m.locks.Unlock(footprint)
 				out.Commit += time.Since(commitStart)
 				m.mu.Lock()
@@ -921,13 +1004,14 @@ func (m *Manager) Stop(name string) error {
 	delete(m.running, name)
 	m.loadRelease(ad)
 	m.mu.Unlock()
-	plan, err := core.NewRemovalPlan(m.plat, ad.Result)
+	plan, err := m.removalPlan(ad)
 	if err != nil {
 		return nil // lenient planning never errors; keep the compiler honest
 	}
 	footprint := plan.Regions()
 	m.locks.Lock(footprint)
 	plan.Release(m.plat)
+	m.journalPlan(journal.EvDepart, name, ad.Priority, plan)
 	m.locks.Unlock(footprint)
 	return nil
 }
@@ -992,6 +1076,9 @@ func (m *Manager) TotalEnergy() float64 {
 	defer m.mu.Unlock()
 	var e float64
 	for _, ad := range m.running {
+		if ad.Result == nil {
+			continue // replay-rebuilt resident: energy did not survive the crash
+		}
 		e += ad.Result.Energy.Total()
 	}
 	return e

@@ -6,6 +6,7 @@ import (
 
 	"rtsm/internal/arch"
 	"rtsm/internal/core"
+	"rtsm/internal/journal"
 	"rtsm/internal/model"
 )
 
@@ -36,7 +37,9 @@ func (m *Manager) victimCandidates(prio model.Priority) []*Admission {
 	defer m.mu.Unlock()
 	var out []*Admission
 	for _, ad := range m.running {
-		if ad.Priority < prio {
+		// Replay-rebuilt residents (nil Result) carry no mapping to
+		// relocate and no energy to rank by; only faults displace them.
+		if ad.Priority < prio && ad.Result != nil {
 			out = append(out, ad)
 		}
 	}
@@ -197,15 +200,20 @@ func (m *Manager) preemptAdmit(out *Outcome, app *model.Application, lib *model.
 		union = append(union, vp.Regions()...)
 	}
 	m.locks.Lock(union)
-	for _, vp := range vplans {
+	for i, vp := range vplans {
 		vp.Release(m.plat)
+		m.journalPlan(journal.EvPreemptRelease, victims[i].App.Name, victims[i].Priority, vp)
 	}
 	if err := nplan.Validate(m.plat); err != nil {
 		// Lost a race since the hypothetical snapshot: roll the
 		// evictions back verbatim and let the caller reject. Preemption
-		// is a last resort, not a retry loop of its own.
-		for _, vp := range vplans {
+		// is a last resort, not a retry loop of its own. The re-commits
+		// are journaled as relocations so replay reproduces the same
+		// release-then-recommit float arithmetic the live ledger saw —
+		// (x−u)+u is not x in float64, so the pair cannot be elided.
+		for i, vp := range vplans {
 			vp.Commit(m.plat)
+			m.journalPlan(journal.EvRelocate, victims[i].App.Name, victims[i].Priority, vp)
 		}
 		m.locks.Unlock(union)
 		m.unclaimVictims(victims)
@@ -213,6 +221,7 @@ func (m *Manager) preemptAdmit(out *Outcome, app *model.Application, lib *model.
 		return false
 	}
 	nplan.Commit(m.plat)
+	m.journalPlan(journal.EvAdmit, app.Name, prio, nplan)
 	m.locks.Unlock(union)
 	out.Commit += time.Since(commitStart)
 
@@ -269,6 +278,7 @@ func (m *Manager) relocateVictim(v *Admission, out *Outcome, maxRetries int) {
 		verr := plan.Validate(m.plat)
 		if verr == nil {
 			plan.Commit(m.plat)
+			m.journalPlan(journal.EvRelocate, v.App.Name, v.Priority, plan)
 			m.locks.Unlock(footprint)
 			out.Commit += time.Since(commitStart)
 			m.mu.Lock()
@@ -291,6 +301,10 @@ func (m *Manager) relocateVictim(v *Admission, out *Outcome, maxRetries int) {
 		}
 	}
 	m.mu.Lock()
+	// Journal the eviction before the name frees up: a re-admission of
+	// the same name must append after it, or replay would apply the
+	// eviction to the newcomer.
+	m.journalEvent(journal.Event{Type: journal.EvEvict, App: v.App.Name})
 	delete(m.preempting, v.App.Name)
 	m.loadRelease(v)
 	m.stats.Evictions++
