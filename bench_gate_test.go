@@ -46,6 +46,10 @@ var benchBars = []benchBar{
 	// The journal must stay nearly free: ≥0.9x the bare fault-churn
 	// throughput (the reference run records ~parity; see BENCH_8.json).
 	{file: "BENCH_8.json", key: "BenchmarkAdmissionFaultChurnJournal", min: 0.9},
+	// The streaming front-end must cost less than a fifth of the
+	// admission throughput it protects (the reference run records
+	// ~parity at 0.99x; see BENCH_9.json).
+	{file: "BENCH_9.json", key: "BenchmarkStreamServeServer", min: 0.8},
 }
 
 // TestBenchTrajectory gates the checked-in benchmark artifacts: every

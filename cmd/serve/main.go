@@ -1,0 +1,165 @@
+// Command serve runs the streaming admission front-end against a
+// synthetic arrival storm: a generator pushes applications through the
+// staged server (ingress throttle, per-class dropping buffers, circuit
+// breaker, dead-letter retry queue) into a single manager pipeline or a
+// federated fleet, while a collector recycles residents so the mesh
+// keeps churning. It prints the server's ledger — every arrival ends in
+// exactly one of admitted/rejected/shed/expired — plus the rolling
+// latency window, and exits nonzero if the ledger or the reservation
+// invariants break.
+//
+// Examples:
+//
+//	go run ./cmd/serve                          # 100k arrivals, one mesh
+//	go run ./cmd/serve -arrivals 2000000        # the EXPERIMENTS.md soak
+//	go run ./cmd/serve -meshes 4                # fleet-backed admission
+//	go run ./cmd/serve -rate 50000              # ingress throttle, 50k/s
+//	go run ./cmd/serve -dlq 0                   # no dead-letter queue
+//	go run ./cmd/serve -journal run.jsonl       # durable admission journal
+//	go run ./cmd/serve -journal run.jsonl -syncevery 64  # periodic fsync
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rtsm/internal/journal"
+	"rtsm/internal/model"
+	"rtsm/internal/stream"
+)
+
+var (
+	arrivals  = flag.Int("arrivals", 100_000, "number of application arrivals to generate")
+	workers   = flag.Int("workers", 4, "admission worker goroutines (split across meshes when federated)")
+	queue     = flag.Int("queue", 0, "backend work queue depth (0 = 16x workers)")
+	mesh      = flag.Int("mesh", 12, "platform mesh width and height")
+	meshes    = flag.Int("meshes", 1, "federate across N meshes behind the fleet router (1 = single pipeline)")
+	regions   = flag.Int("regionsize", 3, "commit-path region side length (0 = one global region)")
+	seed      = flag.Int64("seed", 123, "platform and router seed")
+	batch     = flag.Int("batch", 0, "merged multi-application commits of up to K arrivals (<=1 = per-item)")
+	catalogue = flag.Int("catalogue", 6, "distinct application structures in rotation")
+	util      = flag.Float64("util", 0.12, "max per-implementation utilisation")
+	period    = flag.Int64("period", 40_000, "QoS period in ns")
+	priomix   = flag.String("priomix", "60:30:10", "admission classes as bestEffort:standard:critical weights")
+	resident  = flag.Int("resident", 0, "admissions kept running at once (0 = 4x workers)")
+
+	ingress    = flag.Int("ingress", 256, "ingress buffer depth (Submit blocks when full)")
+	classbuf   = flag.Int("classbuf", 64, "Critical class buffer; Standard gets half, BestEffort a quarter")
+	rate       = flag.Int("rate", 0, "throttle dispatch to this many arrivals/sec (0 = unlimited)")
+	dlqCap     = flag.Int("dlq", 1024, "dead-letter queue capacity for capacity-rejected arrivals (0 = off)")
+	dlqBelow   = flag.Float64("dlq-below", 0.75, "retry parked arrivals when utilization drops below this")
+	dlqRetries = flag.Int("dlq-retries", 3, "backend attempts per arrival before it expires")
+	dlqEvery   = flag.Duration("dlq-every", 5*time.Millisecond, "dead-letter retry poll period")
+
+	brkWindow   = flag.Duration("breaker-window", 500*time.Millisecond, "circuit-breaker failure-ratio window")
+	brkMin      = flag.Int("breaker-min", 20, "min samples in the window before the breaker can trip")
+	brkRatio    = flag.Float64("breaker-ratio", 0.5, "failure ratio that opens the breaker")
+	brkLatency  = flag.Duration("breaker-latency", 0, "admission latency counted as a failure (0 = off)")
+	brkCooldown = flag.Duration("breaker-cooldown", 250*time.Millisecond, "open -> half-open cooldown")
+	brkProbes   = flag.Int("breaker-probes", 5, "half-open probe admissions before closing")
+
+	window    = flag.Duration("window", time.Second, "rolling metrics window for p50/p99 and rate")
+	journalTo = flag.String("journal", "", "stream the hash-chained admission journal to this file (single-mesh only)")
+	syncevery = flag.Int("syncevery", 0, "fsync the journal after every n-th event (0 = on acks only)")
+
+	requireShed = flag.Bool("requireshed", false, "exit nonzero unless the run shed at least one arrival (CI smoke)")
+	requireDLQ  = flag.Bool("requiredlq", false, "exit nonzero unless the DLQ recovered at least one arrival (CI smoke)")
+)
+
+func main() {
+	flag.Parse()
+
+	opts := stream.SoakOptions{
+		Arrivals: *arrivals, Mesh: *mesh, RegionSize: *regions, Seed: *seed,
+		Meshes: *meshes, Workers: *workers, Queue: *queue, Batch: *batch,
+		Catalogue: *catalogue, MaxUtil: *util, PeriodNs: *period,
+		PrioMix: *priomix, Resident: *resident,
+		Server: stream.Options{
+			Ingress: *ingress, ClassBuf: *classbuf, Rate: *rate,
+			DLQ: *dlqCap, DLQBelow: *dlqBelow, DLQRetries: *dlqRetries, DLQEvery: *dlqEvery,
+			Breaker: stream.BreakerConfig{
+				Window: *brkWindow, MinSamples: *brkMin, Ratio: *brkRatio,
+				Latency: *brkLatency, Cooldown: *brkCooldown, Probes: *brkProbes,
+			},
+			Window: *window,
+		},
+	}
+
+	var jfile *os.File
+	if *journalTo != "" {
+		f, err := os.Create(*journalTo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(2)
+		}
+		jfile = f
+		opts.Journal = journal.NewWriter(f, journal.Options{Syncer: f, SyncEvery: *syncevery})
+	}
+
+	res := stream.RunSoak(opts)
+	if res.ConfigErr != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", res.ConfigErr)
+		os.Exit(2)
+	}
+	if opts.Journal != nil {
+		if err := opts.Journal.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: journal: %v\n", err)
+			os.Exit(1)
+		}
+		if err := jfile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: journal: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	report(res)
+
+	fail := false
+	if res.LedgerErr != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", res.LedgerErr)
+		fail = true
+	}
+	if *requireShed && res.Report.Shed() == 0 {
+		fmt.Fprintln(os.Stderr, "serve: -requireshed: the run shed nothing")
+		fail = true
+	}
+	if *requireDLQ && res.Report.Recovered == 0 {
+		fmt.Fprintln(os.Stderr, "serve: -requiredlq: the DLQ recovered nothing")
+		fail = true
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+func report(res stream.SoakResult) {
+	rep := res.Report
+	st := res.Stats
+	fmt.Printf("streaming admission:\n")
+	fmt.Printf("  arrivals          %d over %v (%.0f arrivals/sec, %.0f admissions/sec)\n",
+		rep.Submitted, res.Elapsed.Round(time.Millisecond), res.ArrivalsPerSec(), res.AdmissionsPerSec())
+	fmt.Printf("  ledger            %d admitted (%d via DLQ) + %d rejected + %d shed + %d expired = %d\n",
+		rep.Admitted, rep.Recovered, rep.Rejected, rep.Shed(), rep.Expired,
+		rep.Admitted+rep.Rejected+rep.Shed()+rep.Expired)
+	for c := 0; c < model.NumPriorities; c++ {
+		if rep.ShedByClass[c] == 0 {
+			continue
+		}
+		fmt.Printf("  shed %-12s %d\n", model.Priority(c), rep.ShedByClass[c])
+	}
+	if rep.Shed() > 0 {
+		fmt.Printf("  shed stages       %d at class buffers, %d at the breaker, %d at the backend queue\n",
+			rep.ShedBuffer, rep.ShedBreaker, rep.ShedQueue)
+	}
+	fmt.Printf("  breaker           %d opens\n", rep.BreakerOpens)
+	fmt.Printf("  dead letters      %d recovered, %d expired\n", rep.Recovered, rep.Expired)
+	fmt.Printf("  window            p50 %v, p99 %v, %.0f admissions/sec over %d samples\n",
+		rep.Window.P50.Round(time.Microsecond), rep.Window.P99.Round(time.Microsecond),
+		rep.Window.PerSec, rep.Window.Samples)
+	fmt.Printf("  backend           %d admitted, %d rejected, %d conflicts, %d template hits\n",
+		st.Admitted, st.Rejected, st.Conflicts, st.TemplateHits)
+	if res.LedgerErr == nil {
+		fmt.Printf("  ledger ok         true\n")
+	}
+}

@@ -24,6 +24,7 @@ func TestGodocCoverage(t *testing.T) {
 		"internal/manager",
 		"internal/fleet",
 		"internal/churn",
+		"internal/stream",
 	}
 	for _, dir := range pkgs {
 		t.Run(strings.ReplaceAll(dir, "/", "_"), func(t *testing.T) {

@@ -310,6 +310,77 @@ func (f *Fleet) Submit(app *model.Application, lib *model.Library) (<-chan Outco
 	return done, nil
 }
 
+// TrySubmit is Submit without the blocking: it reports false — shedding
+// the arrival — when the routed mesh's bounded queue is full, the name
+// is a duplicate, no mesh is in service or the fleet closed. A
+// full-queue refusal is counted as shed in the routed mesh's manager
+// stats (see manager.Pipeline.TrySubmit); the arrival does not probe
+// siblings, because under saturation every extra probe is another
+// blocked submitter — the streaming front-end's shed-or-DLQ machinery
+// owns the retry policy instead.
+func (f *Fleet) TrySubmit(app *model.Application, lib *model.Library) (<-chan Outcome, bool) {
+	if f.closed.Load() {
+		return nil, false
+	}
+	pl := &placement{}
+	if _, dup := f.placements.LoadOrStore(app.Name, pl); dup {
+		return nil, false
+	}
+	target := f.route(app)
+	if target == nil {
+		f.placements.Delete(app.Name)
+		return nil, false
+	}
+	pl.mesh.Store(int32(target.id))
+	target.inFlight.Add(1)
+	ch, ok := target.pipe.TrySubmit(app, lib)
+	if !ok {
+		target.inFlight.Add(-1)
+		f.placements.Delete(app.Name)
+		return nil, false
+	}
+	f.stats.submitted.Add(1)
+	done := make(chan Outcome, 1)
+	f.shepherds.Add(1)
+	go f.shepherd(app, lib, pl, target, ch, done)
+	return done, true
+}
+
+// Utilization is the mean reserved-capacity estimate across in-service
+// meshes, in [0, 1] — the fleet-level signal the streaming front-end's
+// dead-letter queue gates retries on. With every mesh failed it reports
+// 1 (saturated), so nothing retries into a dead fleet.
+func (f *Fleet) Utilization() float64 {
+	var sum float64
+	n := 0
+	for _, ms := range f.meshes {
+		if ms.failed.Load() {
+			continue
+		}
+		sum += ms.load.Utilization()
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// NoteShed records an arrival dropped before any mesh was involved — a
+// streaming front-end stage shed it (full class buffer, open breaker).
+// It lands in mesh 0's manager stats: per-mesh attribution would be
+// fiction for a drop that never routed, and fleet reports aggregate the
+// member stats anyway, so the fleet-wide ledger stays whole.
+func (f *Fleet) NoteShed(p model.Priority) { f.meshes[0].m.NoteShed(p) }
+
+// NoteDLQRecovered records a dead-letter retry admitted somewhere in
+// the fleet; accounted like NoteShed.
+func (f *Fleet) NoteDLQRecovered() { f.meshes[0].m.NoteDLQRecovered() }
+
+// NoteDLQExpired records a dead-letter entry dropped for good;
+// accounted like NoteShed.
+func (f *Fleet) NoteDLQExpired() { f.meshes[0].m.NoteDLQExpired() }
+
 // Admit is the synchronous form of Submit: route, admit (spilling as
 // needed) and return the single fleet outcome.
 func (f *Fleet) Admit(app *model.Application, lib *model.Library) Outcome {

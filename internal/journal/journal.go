@@ -31,6 +31,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"rtsm/internal/arch"
 	"rtsm/internal/core"
@@ -144,17 +145,31 @@ func (e *Event) Reservations() ([]core.TileReservation, []core.LinkReservation) 
 	return ts, ls
 }
 
-// record is one serialized journal line: an event line (Event set) or a
-// batch seal (Seal set). Event stays a raw message so the hash covers
-// the exact bytes on the wire: hashing a decoded-and-re-marshaled event
-// would let any tampering that survives the decoder slip through —
-// json.Unmarshal matches object keys case-insensitively, so a single
-// case-flipped bit in a key name decodes to the identical event.
+// record is one serialized journal line: an event line (Event set), a
+// batch seal (Seal set), or a segment-head snapshot (Snap set, written
+// by Rotate as the first line of a new segment). Event stays a raw
+// message so the hash covers the exact bytes on the wire: hashing a
+// decoded-and-re-marshaled event would let any tampering that survives
+// the decoder slip through — json.Unmarshal matches object keys
+// case-insensitively, so a single case-flipped bit in a key name
+// decodes to the identical event.
 type record struct {
 	Event json.RawMessage `json:"event,omitempty"`
 	// Hash is the hex sha256 of the event's JSON payload bytes.
-	Hash string `json:"hash,omitempty"`
-	Seal *seal  `json:"seal,omitempty"`
+	Hash string    `json:"hash,omitempty"`
+	Seal *seal     `json:"seal,omitempty"`
+	Snap *snapshot `json:"snap,omitempty"`
+}
+
+// snapshot is the head record of a rotated segment: the chain seed it
+// continues from (the previous segment's final seal) and the last
+// sequence number assigned before the rotation. It is not hashed — its
+// integrity comes from the seed itself: any tampering breaks continuity
+// with the previous segment's verified chain (VerifyChain pins it), and
+// the events it introduces are sealed under that seed.
+type snapshot struct {
+	Seed string `json:"seed"`
+	Seq  uint64 `json:"seq"`
 }
 
 // seal closes one batch: N events since the previous seal, their Merkle
@@ -220,14 +235,39 @@ func chainHash(prev, root string) string {
 type Options struct {
 	// BatchSize seals a batch after this many events (≤0 selects 64).
 	BatchSize int
+	// Syncer, when non-nil, is invoked after every flush that precedes
+	// an acknowledgement (Sync, Flush, Close) and by the SetSyncEvery
+	// periodic policy, pushing the flushed bytes to stable storage.
+	// Without it, an ack only means the bytes reached the wrapped
+	// io.Writer — for an *os.File that is the OS page cache, which a
+	// power loss discards.
+	Syncer Syncer
+	// SyncEvery fsyncs after every n-th appended event even without an
+	// explicit Sync call (0 = only on acks). Ignored without a Syncer.
+	SyncEvery int
+}
+
+// Syncer pushes previously written bytes to stable storage. *os.File
+// satisfies it; the fake syncers in the crash tests model a volatile
+// page cache in front of a durable store.
+type Syncer interface {
+	Sync() error
 }
 
 // wmsg is one unit of work for the writer goroutine: an encoded line to
 // write, an ack to close once everything queued before it has been
-// flushed, or both.
+// flushed (and fsynced, when a Syncer is configured), a swap to a new
+// segment's writer, or a combination.
 type wmsg struct {
 	line []byte
 	ack  chan struct{}
+	swap *segment
+}
+
+// segment is a rotation target: the new output writer and its syncer.
+type segment struct {
+	w    io.Writer
+	sync Syncer
 }
 
 // Writer is the journaling sink. Append is safe for concurrent use; the
@@ -243,6 +283,11 @@ type Writer struct {
 	msgs    chan wmsg
 	done    chan struct{}
 	closed  bool
+
+	// syncEvery is the periodic-fsync policy: the writer goroutine
+	// invokes the segment's Syncer after every n-th event line (0 = only
+	// on acks). Atomic so SetSyncEvery works mid-stream.
+	syncEvery atomic.Int64
 
 	errMu sync.Mutex
 	err   error
@@ -261,20 +306,59 @@ func NewWriter(w io.Writer, opts Options) *Writer {
 		msgs:  make(chan wmsg, 1024),
 		done:  make(chan struct{}),
 	}
-	go jw.run(w)
+	jw.syncEvery.Store(int64(opts.SyncEvery))
+	go jw.run(w, opts.Syncer)
 	return jw
 }
 
+// SetSyncEvery adjusts the periodic-fsync policy: the current segment's
+// Syncer runs after every n-th appended event, bounding how many events
+// a crash between explicit Syncs can lose to the page cache (n ≤ 0
+// fsyncs only when an ack — Sync, Flush, Close, Rotate — demands it).
+// No-op without a Syncer.
+func (w *Writer) SetSyncEvery(n int) {
+	if n < 0 {
+		n = 0
+	}
+	w.syncEvery.Store(int64(n))
+}
+
 // run is the writer goroutine: it drains encoded lines into a buffered
-// writer, flushing when the queue goes idle or an ack is requested.
-func (w *Writer) run(out io.Writer) {
+// writer, flushing when the queue goes idle or an ack is requested, and
+// fsyncing through the segment's Syncer before any ack is released —
+// that ordering is what lets Sync be a durability point rather than
+// just a flush.
+func (w *Writer) run(out io.Writer, sync Syncer) {
 	defer close(w.done)
 	bw := bufio.NewWriter(out)
+	var sinceSync int64
+	fsync := func() {
+		if sync == nil {
+			return
+		}
+		if err := sync.Sync(); err != nil {
+			w.setErr(err)
+		}
+		sinceSync = 0
+	}
 	for m := range w.msgs {
+		if m.swap != nil {
+			// Rotation: the old segment is complete (its final seal is
+			// already queued ahead of the swap), so flush and fsync it
+			// before a single byte lands in the new one.
+			if err := bw.Flush(); err != nil {
+				w.setErr(err)
+			}
+			fsync()
+			bw = bufio.NewWriter(m.swap.w)
+			sync = m.swap.sync
+			sinceSync = 0
+		}
 		if len(m.line) > 0 {
 			if _, err := bw.Write(m.line); err != nil {
 				w.setErr(err)
 			}
+			sinceSync++
 		}
 		if m.ack != nil || len(w.msgs) == 0 {
 			if err := bw.Flush(); err != nil {
@@ -282,12 +366,21 @@ func (w *Writer) run(out io.Writer) {
 			}
 		}
 		if m.ack != nil {
+			// An ack is a durability promise when a Syncer is configured:
+			// fsync before releasing the waiter.
+			fsync()
 			close(m.ack)
+		} else if n := w.syncEvery.Load(); n > 0 && sinceSync >= n {
+			if err := bw.Flush(); err != nil {
+				w.setErr(err)
+			}
+			fsync()
 		}
 	}
 	if err := bw.Flush(); err != nil {
 		w.setErr(err)
 	}
+	fsync()
 }
 
 func (w *Writer) setErr(err error) {
@@ -375,9 +468,14 @@ func (w *Writer) Flush() {
 }
 
 // Sync waits for every line queued so far to reach the underlying
-// writer WITHOUT sealing the pending batch. The crash-simulation tests
-// use it to materialize exactly the torn-tail state a real crash leaves:
-// events on disk past the last seal, unprotected.
+// writer — and, when a Syncer is configured, stable storage: the writer
+// goroutine invokes it after the flush and before the ack, so a crash
+// (or power loss) after Sync returns cannot lose an acknowledged event.
+// Without a Syncer the ack only covers the wrapped io.Writer, which for
+// a file means the OS page cache. Sync does NOT seal the pending batch;
+// the crash-simulation tests use it to materialize exactly the torn-tail
+// state a real crash leaves: events on disk past the last seal,
+// unprotected by the chain.
 func (w *Writer) Sync() {
 	ack := make(chan struct{})
 	w.mu.Lock()
@@ -388,6 +486,39 @@ func (w *Writer) Sync() {
 	w.msgs <- wmsg{ack: ack}
 	w.mu.Unlock()
 	<-ack
+}
+
+// Rotate seals the chain and starts a new segment: the pending batch is
+// sealed into the current output, which is flushed and fsynced, and all
+// subsequent lines go to next — whose first record is a snapshot head
+// carrying the chain seed (the previous segment's final seal) and the
+// last assigned sequence number. sync is the new segment's Syncer (nil
+// = none). A rotated-away segment always ends on a seal, so replay cost
+// per segment stays bounded: verify and replay the segments in order
+// with VerifyChain / manager.ReplaySegments. Rotate returns once the
+// old segment is durably complete; it is an error after Close.
+func (w *Writer) Rotate(next io.Writer, sync Syncer) error {
+	ack := make(chan struct{})
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return fmt.Errorf("journal: rotate after close")
+	}
+	w.sealLocked()
+	head, err := json.Marshal(record{Snap: &snapshot{Seed: w.prev, Seq: w.seq}})
+	if err != nil {
+		w.mu.Unlock()
+		w.setErr(err)
+		return err
+	}
+	// Queue the swap and the new segment's head atomically with respect
+	// to Append (both under w.mu), so no event line can slip between the
+	// swap and the head record. The ack rides on the head line: when it
+	// closes, the old segment is flushed+fsynced and the head is down.
+	w.msgs <- wmsg{swap: &segment{w: next, sync: sync}, line: append(head, '\n'), ack: ack}
+	w.mu.Unlock()
+	<-ack
+	return w.Err()
 }
 
 // Close seals the final batch, stops the writer goroutine and waits for
@@ -411,15 +542,77 @@ func (w *Writer) Close() error {
 // corruption inside the sealed region — a flipped byte in an event
 // payload, a wrong record hash, a broken Merkle root or chain hash, a
 // seal counting the wrong number of events — is an error.
+//
+// A rotated segment (one starting with a snapshot head record) verifies
+// standalone against its self-declared seed; use VerifyChain to pin the
+// seed against the preceding segment's actual seal.
 func Verify(r io.Reader) ([]Event, int, error) {
+	events, tail, _, _, _, err := verifySegment(r, "", 0)
+	return events, tail, err
+}
+
+// VerifyChain verifies a rotated sequence of journal segments as one
+// log: each segment after the first must open with a snapshot head
+// whose seed equals the previous segment's final chain hash and whose
+// sequence equals the previous segment's last event — so removing,
+// reordering or truncating whole segments is as detectable as flipping
+// a byte inside one. A non-final segment with unsealed trailing events
+// is an error (Rotate always seals before switching, so such a tail
+// means the file lost bytes). The first segment must be a full history:
+// it either has no snapshot head or declares the genesis seed, so a
+// mid-chain segment offered alone (or with its predecessors missing) is
+// rejected rather than silently replaying half the log. The returned
+// events span all segments in order; the tail count is the final
+// segment's.
+func VerifyChain(segments ...io.Reader) ([]Event, int, error) {
+	if len(segments) == 0 {
+		return nil, 0, fmt.Errorf("journal: no segments")
+	}
+	var all []Event
+	wantSeed := ""
+	var wantSeq uint64
+	for i, r := range segments {
+		events, tail, head, endChain, endSeq, err := verifySegment(r, wantSeed, wantSeq)
+		if err != nil {
+			return nil, 0, fmt.Errorf("journal: segment %d: %w", i, err)
+		}
+		if i == 0 && head != nil && head.Seed != genesis {
+			return nil, 0, fmt.Errorf("journal: segment 0: starts mid-chain (snapshot seed %.12s…, seq %d); earlier segments are missing", head.Seed, head.Seq)
+		}
+		if i > 0 && head == nil {
+			return nil, 0, fmt.Errorf("journal: segment %d: not a rotated segment (no snapshot head)", i)
+		}
+		all = append(all, events...)
+		if i == len(segments)-1 {
+			return all, tail, nil
+		}
+		if tail > 0 {
+			return nil, 0, fmt.Errorf("journal: segment %d: %d unsealed events before a rotation (segment truncated)", i, tail)
+		}
+		wantSeed, wantSeq = endChain, endSeq
+	}
+	return all, 0, nil // unreachable: the loop returns on the final segment
+}
+
+// verifySegment verifies one segment. wantSeed/wantSeq, when wantSeed is
+// non-empty, pin the snapshot head (chain continuity across a rotation);
+// empty wantSeed accepts either a genesis segment or a self-declared
+// head. It returns the sealed events, the unsealed tail count, the head
+// (nil for a genesis segment), and the chain hash and sequence number
+// the segment ends on.
+func verifySegment(r io.Reader, wantSeed string, wantSeq uint64) (
+	sealed []Event, tail int, head *snapshot, endChain string, endSeq uint64, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	var sealed []Event
 	var pendingEvents []Event
 	var pendingHashes []string
 	prev := genesis
 	lineNo := 0
+	sawRecord := false
 	var lastSeq uint64
+	fail := func(e error) ([]Event, int, *snapshot, string, uint64, error) {
+		return nil, 0, nil, "", 0, e
+	}
 	for sc.Scan() {
 		lineNo++
 		line := sc.Bytes()
@@ -428,20 +621,32 @@ func Verify(r io.Reader) ([]Event, int, error) {
 		}
 		var rec record
 		if err := json.Unmarshal(line, &rec); err != nil {
-			return nil, 0, fmt.Errorf("journal: line %d: %w", lineNo, err)
+			return fail(fmt.Errorf("journal: line %d: %w", lineNo, err))
 		}
 		switch {
+		case rec.Snap != nil:
+			if sawRecord {
+				return fail(fmt.Errorf("journal: line %d: snapshot record not at segment head", lineNo))
+			}
+			if wantSeed != "" && (rec.Snap.Seed != wantSeed || rec.Snap.Seq != wantSeq) {
+				return fail(fmt.Errorf("journal: line %d: rotation head (seed %s, seq %d) does not continue the previous segment (seal %s, seq %d)",
+					lineNo, rec.Snap.Seed, rec.Snap.Seq, wantSeed, wantSeq))
+			}
+			head = rec.Snap
+			prev = head.Seed
+			lastSeq = head.Seq
+			sawRecord = true
 		case len(rec.Event) > 0:
 			if hash := eventHash(rec.Event); hash != rec.Hash {
-				return nil, 0, fmt.Errorf("journal: line %d: record hash mismatch (event tampered)", lineNo)
+				return fail(fmt.Errorf("journal: line %d: record hash mismatch (event tampered)", lineNo))
 			}
 			var e Event
 			if err := json.Unmarshal(rec.Event, &e); err != nil {
-				return nil, 0, fmt.Errorf("journal: line %d: %w", lineNo, err)
+				return fail(fmt.Errorf("journal: line %d: %w", lineNo, err))
 			}
 			if e.Seq <= lastSeq {
-				return nil, 0, fmt.Errorf("journal: line %d: sequence %d not increasing (last %d)",
-					lineNo, e.Seq, lastSeq)
+				return fail(fmt.Errorf("journal: line %d: sequence %d not increasing (last %d)",
+					lineNo, e.Seq, lastSeq))
 			}
 			lastSeq = e.Seq
 			pendingEvents = append(pendingEvents, e)
@@ -449,33 +654,37 @@ func Verify(r io.Reader) ([]Event, int, error) {
 		case rec.Seal != nil:
 			s := rec.Seal
 			if s.N != len(pendingEvents) {
-				return nil, 0, fmt.Errorf("journal: line %d: seal counts %d events, batch has %d",
-					lineNo, s.N, len(pendingEvents))
+				return fail(fmt.Errorf("journal: line %d: seal counts %d events, batch has %d",
+					lineNo, s.N, len(pendingEvents)))
 			}
 			if s.Prev != prev {
-				return nil, 0, fmt.Errorf("journal: line %d: chain broken (prev %s, expected %s)",
-					lineNo, s.Prev, prev)
+				return fail(fmt.Errorf("journal: line %d: chain broken (prev %s, expected %s)",
+					lineNo, s.Prev, prev))
 			}
 			root, err := merkleRoot(pendingHashes)
 			if err != nil {
-				return nil, 0, fmt.Errorf("journal: line %d: %w", lineNo, err)
+				return fail(fmt.Errorf("journal: line %d: %w", lineNo, err))
 			}
 			if root != s.Root {
-				return nil, 0, fmt.Errorf("journal: line %d: merkle root mismatch", lineNo)
+				return fail(fmt.Errorf("journal: line %d: merkle root mismatch", lineNo))
 			}
 			if chain := chainHash(s.Prev, s.Root); chain != s.Chain {
-				return nil, 0, fmt.Errorf("journal: line %d: chain hash mismatch", lineNo)
+				return fail(fmt.Errorf("journal: line %d: chain hash mismatch", lineNo))
 			}
 			prev = s.Chain
 			sealed = append(sealed, pendingEvents...)
 			pendingEvents = pendingEvents[:0]
 			pendingHashes = pendingHashes[:0]
 		default:
-			return nil, 0, fmt.Errorf("journal: line %d: neither event nor seal", lineNo)
+			return fail(fmt.Errorf("journal: line %d: neither event, seal nor snapshot", lineNo))
 		}
+		sawRecord = true
 	}
 	if err := sc.Err(); err != nil {
-		return nil, 0, err
+		return fail(err)
 	}
-	return sealed, len(pendingEvents), nil
+	if wantSeed != "" && head == nil && sawRecord {
+		return fail(fmt.Errorf("journal: expected a rotation head continuing seal %s, found none", wantSeed))
+	}
+	return sealed, len(pendingEvents), head, prev, lastSeq, nil
 }

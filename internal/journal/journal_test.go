@@ -6,7 +6,9 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"rtsm/internal/arch"
 	"rtsm/internal/core"
@@ -267,4 +269,182 @@ func FuzzJournalChain(f *testing.F) {
 			t.Fatalf("two replays of the same journal diverged: %v", err)
 		}
 	})
+}
+
+// pageCache models the OS page cache in front of stable storage: Write
+// lands in volatile memory, Sync marks everything written so far
+// durable, and Durable is what survives a simulated power loss.
+type pageCache struct {
+	mu         sync.Mutex
+	buf        bytes.Buffer
+	durableLen int
+	syncs      int
+}
+
+func (c *pageCache) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.Write(p)
+}
+
+func (c *pageCache) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.durableLen = c.buf.Len()
+	c.syncs++
+	return nil
+}
+
+// Durable returns the bytes that survived the crash: only what a Sync
+// call made stable.
+func (c *pageCache) Durable() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.buf.Bytes()[:c.durableLen]...)
+}
+
+func (c *pageCache) Syncs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.syncs
+}
+
+// TestSyncWithoutSyncerIsNotDurable is the bug the Syncer hook fixes,
+// kept as the control: Sync acks once bytes reach the wrapped io.Writer,
+// so with a page cache in between, a crash after Sync still loses every
+// acknowledged event.
+func TestSyncWithoutSyncerIsNotDurable(t *testing.T) {
+	p := testPlatform()
+	rng := rand.New(rand.NewSource(7))
+	events := randomEvents(rng, p, 10)
+	cache := &pageCache{}
+	w := journal.NewWriter(cache, journal.Options{BatchSize: 4}) // no Syncer
+	for _, e := range events {
+		w.Append(e)
+	}
+	w.Sync() // acked — but only into the page cache
+	if got := len(cache.Durable()); got != 0 {
+		t.Fatalf("durable bytes without a Syncer = %d, want 0 (nothing ever fsynced)", got)
+	}
+}
+
+// TestSyncInvokesSyncerBeforeAck pins the durability fix: with a Syncer
+// configured, Sync fsyncs before acknowledging, so a crash immediately
+// after Sync returns loses no acknowledged event.
+func TestSyncInvokesSyncerBeforeAck(t *testing.T) {
+	p := testPlatform()
+	rng := rand.New(rand.NewSource(8))
+	events := randomEvents(rng, p, 10)
+	cache := &pageCache{}
+	w := journal.NewWriter(cache, journal.Options{BatchSize: 4, Syncer: cache})
+	for _, e := range events {
+		w.Append(e)
+	}
+	w.Sync()
+	// Crash now: only the durable bytes survive.
+	sealed, tail, err := journal.Verify(bytes.NewReader(cache.Durable()))
+	if err != nil {
+		t.Fatalf("verify durable bytes: %v", err)
+	}
+	if len(sealed)+tail != len(events) {
+		t.Fatalf("durable storage holds %d sealed + %d tail events, want all %d acknowledged",
+			len(sealed), tail, len(events))
+	}
+	if cache.Syncs() == 0 {
+		t.Fatal("Sync acked without invoking the Syncer")
+	}
+}
+
+// TestSetSyncEveryPeriodicFsync pins the periodic policy: with
+// SyncEvery configured, events become durable without any explicit Sync
+// call, bounding the page-cache exposure window.
+func TestSetSyncEveryPeriodicFsync(t *testing.T) {
+	p := testPlatform()
+	rng := rand.New(rand.NewSource(9))
+	events := randomEvents(rng, p, 20)
+	cache := &pageCache{}
+	w := journal.NewWriter(cache, journal.Options{BatchSize: 64, Syncer: cache, SyncEvery: 5})
+	for _, e := range events {
+		w.Append(e)
+	}
+	// The fsyncs run on the writer goroutine; wait for the policy to
+	// land at least one durable batch without ever calling Sync.
+	deadline := time.Now().Add(5 * time.Second)
+	for cache.Syncs() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if cache.Syncs() == 0 {
+		t.Fatal("SyncEvery never fsynced")
+	}
+	if len(cache.Durable()) == 0 {
+		t.Fatal("periodic fsync marked nothing durable")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got, want := len(cache.Durable()), cache.buf.Len(); got != want {
+		t.Fatalf("close left %d of %d bytes undurable", want-got, want)
+	}
+}
+
+// TestRotateChainsSegments pins the rotation contract: Rotate seals the
+// old segment, the new segment opens with a snapshot head seeded by the
+// previous seal, VerifyChain accepts the pair (and replays it exactly
+// like the unrotated stream), and any cross-segment tampering —
+// flipped bytes, reordered or substituted segments — is detected.
+func TestRotateChainsSegments(t *testing.T) {
+	p := testPlatform()
+	rng := rand.New(rand.NewSource(10))
+	events := randomEvents(rng, p, 120)
+
+	var seg1, seg2 bytes.Buffer
+	w := journal.NewWriter(&seg1, journal.Options{BatchSize: 16})
+	for _, e := range events[:70] {
+		w.Append(e)
+	}
+	if err := w.Rotate(&seg2, nil); err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	for _, e := range events[70:] {
+		w.Append(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	got, tail, err := journal.VerifyChain(bytes.NewReader(seg1.Bytes()), bytes.NewReader(seg2.Bytes()))
+	if err != nil {
+		t.Fatalf("verify chain: %v", err)
+	}
+	if tail != 0 || len(got) != len(events) {
+		t.Fatalf("chain verified %d events + %d tail, want %d + 0", len(got), tail, len(events))
+	}
+	// The rotated pair must replay bit-for-bit like the one-segment log.
+	direct := p.Clone()
+	applyEvents(direct, events)
+	replayed := p.Clone()
+	applyEvents(replayed, got)
+	if err := arch.PlatformsIdentical(direct, replayed); err != nil {
+		t.Fatalf("rotated replay diverged: %v", err)
+	}
+	// A later segment still verifies standalone against its declared seed.
+	if _, _, err := journal.Verify(bytes.NewReader(seg2.Bytes())); err != nil {
+		t.Fatalf("standalone verify of rotated segment: %v", err)
+	}
+	// Segment order is pinned by the seed chain.
+	if _, _, err := journal.VerifyChain(bytes.NewReader(seg2.Bytes()), bytes.NewReader(seg1.Bytes())); err == nil {
+		t.Fatal("reordered segments verified")
+	}
+	// A flipped byte inside either sealed region breaks the chain.
+	for i, seg := range [][]byte{seg1.Bytes(), seg2.Bytes()} {
+		bad := append([]byte(nil), seg...)
+		limit := sealedLength(bad)
+		flip := limit / 2
+		bad[flip] ^= 0x40
+		segments := [][]byte{seg1.Bytes(), seg2.Bytes()}
+		segments[i] = bad
+		if _, _, err := journal.VerifyChain(bytes.NewReader(segments[0]), bytes.NewReader(segments[1])); err == nil {
+			t.Fatalf("flipped byte %d in segment %d went undetected", flip, i)
+		}
+	}
 }

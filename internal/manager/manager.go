@@ -225,6 +225,13 @@ type Stats struct {
 	FaultRelocated uint64
 	FaultDropped   uint64
 	Restores       uint64
+	// DLQRecovered counts capacity-rejected arrivals a dead-letter queue
+	// re-enqueued and successfully admitted once utilization dropped;
+	// DLQExpired counts entries the DLQ gave up on (retry budget spent or
+	// shutdown). Both are reported by the streaming front-end via
+	// NoteDLQRecovered/NoteDLQExpired; without a DLQ they stay zero.
+	DLQRecovered uint64
+	DLQExpired   uint64
 	// ByClass splits admitted/rejected per priority class, indexed by
 	// model.Priority.
 	ByClass [model.NumPriorities]ClassStats
@@ -240,6 +247,12 @@ type Stats struct {
 type ClassStats struct {
 	Admitted uint64
 	Rejected uint64
+	// Shed counts arrivals this class lost to load shedding before any
+	// mapping ran: TrySubmit refusals on a saturated queue plus drops the
+	// streaming front-end reports via NoteShed. Shed arrivals never reach
+	// the mapper, so they appear in neither Admitted nor Rejected — the
+	// ledger for a class is Admitted + Rejected + Shed.
+	Shed uint64
 	// Latency accumulates the class's end-to-end admission latency
 	// (queue wait + mapping + repair + commit) over all its arrivals,
 	// admitted and rejected; divide by their count for the mean.
@@ -285,9 +298,12 @@ func (s *Stats) Add(o Stats) {
 	s.FaultRelocated += o.FaultRelocated
 	s.FaultDropped += o.FaultDropped
 	s.Restores += o.Restores
+	s.DLQRecovered += o.DLQRecovered
+	s.DLQExpired += o.DLQExpired
 	for c := range s.ByClass {
 		s.ByClass[c].Admitted += o.ByClass[c].Admitted
 		s.ByClass[c].Rejected += o.ByClass[c].Rejected
+		s.ByClass[c].Shed += o.ByClass[c].Shed
 		s.ByClass[c].Latency += o.ByClass[c].Latency
 	}
 	s.Wait += o.Wait
@@ -564,6 +580,33 @@ func (m *Manager) Stats() Stats {
 	st := m.stats
 	st.CoWFaults = m.faults.Load()
 	return st
+}
+
+// NoteShed records one load-shed arrival of the given class: it was
+// dropped before any mapping ran (saturated queue, open circuit
+// breaker, full stage buffer). Pipeline.TrySubmit calls this on a
+// full-queue refusal; the streaming front-end calls it for drops at its
+// own stages so the per-class ledger stays complete.
+func (m *Manager) NoteShed(p model.Priority) {
+	m.mu.Lock()
+	m.stats.ByClass[clampPriority(p)].Shed++
+	m.mu.Unlock()
+}
+
+// NoteDLQRecovered records one dead-letter entry whose retry was
+// admitted; see Stats.DLQRecovered.
+func (m *Manager) NoteDLQRecovered() {
+	m.mu.Lock()
+	m.stats.DLQRecovered++
+	m.mu.Unlock()
+}
+
+// NoteDLQExpired records one dead-letter entry dropped for good; see
+// Stats.DLQExpired.
+func (m *Manager) NoteDLQExpired() {
+	m.mu.Lock()
+	m.stats.DLQExpired++
+	m.mu.Unlock()
 }
 
 // Start maps the application against the current platform state and

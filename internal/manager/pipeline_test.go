@@ -118,6 +118,37 @@ func TestPipelineTrySubmitShedsWhenFull(t *testing.T) {
 	if shed == 0 {
 		t.Error("no TrySubmit was shed despite a full pipeline")
 	}
+	// Every full-queue refusal is on the ledger: the synthetic requests
+	// are untagged (BestEffort), so the whole shed count lands there.
+	st := m.Stats()
+	var total uint64
+	for c := range st.ByClass {
+		total += st.ByClass[c].Shed
+	}
+	if total != uint64(shed) {
+		t.Errorf("stats record %d shed arrivals, want %d", total, shed)
+	}
+	if st.ByClass[model.BestEffort].Shed != uint64(shed) {
+		t.Errorf("BestEffort shed = %d, want %d", st.ByClass[model.BestEffort].Shed, shed)
+	}
+}
+
+// TestTrySubmitAfterCloseIsNotShed pins the full-vs-closed distinction:
+// a TrySubmit refused because the pipeline shut down is not load
+// shedding and must not inflate the shed ledger.
+func TestTrySubmitAfterCloseIsNotShed(t *testing.T) {
+	m := New(workload.SyntheticPlatform(6, 6, 1), core.Config{})
+	pipe := NewPipeline(m, 1, 4)
+	pipe.Close()
+	if _, ok := pipe.TrySubmit(synthReq(0)); ok {
+		t.Fatal("TrySubmit after Close succeeded")
+	}
+	st := m.Stats()
+	for c := range st.ByClass {
+		if st.ByClass[c].Shed != 0 {
+			t.Fatalf("class %d counted a post-close refusal as shed", c)
+		}
+	}
 }
 
 // TestMappingReuseSemantics pins the template fast path: a second

@@ -100,16 +100,17 @@ func (q *prioQueue) push(j *job) bool {
 	return true
 }
 
-// tryPush is push without the blocking: it reports false when the queue
-// is full or closed.
-func (q *prioQueue) tryPush(j *job) bool {
+// tryPush is push without the blocking: ok is false when the queue is
+// full or closed, and closed distinguishes the two so callers can count
+// a full-queue refusal as load shed rather than a shutdown.
+func (q *prioQueue) tryPush(j *job) (ok, closed bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed || q.size >= q.depth {
-		return false
+		return false, q.closed
 	}
 	q.enqueueLocked(j)
-	return true
+	return true, false
 }
 
 func (q *prioQueue) enqueueLocked(j *job) {

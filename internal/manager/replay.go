@@ -35,6 +35,27 @@ func Replay(plat *arch.Platform, cfg core.Config, r io.Reader) (*Manager, int, e
 	if err != nil {
 		return nil, tail, err
 	}
+	m, err := replayEvents(plat, cfg, events)
+	return m, tail, err
+}
+
+// ReplaySegments is Replay over a rotated journal: the segments are the
+// files a sequence of Writer.Rotate calls produced, oldest first. The
+// chain is verified end to end (each later segment's snapshot head must
+// carry the previous segment's final seal as its seed) and the combined
+// event stream is applied exactly as Replay would apply a single
+// segment, so a rotated journal rebuilds the same bit-for-bit platform.
+func ReplaySegments(plat *arch.Platform, cfg core.Config, segments ...io.Reader) (*Manager, int, error) {
+	events, tail, err := journal.VerifyChain(segments...)
+	if err != nil {
+		return nil, tail, err
+	}
+	m, err := replayEvents(plat, cfg, events)
+	return m, tail, err
+}
+
+// replayEvents applies a verified event stream to a fresh manager.
+func replayEvents(plat *arch.Platform, cfg core.Config, events []journal.Event) (*Manager, error) {
 	m := New(plat, cfg)
 	// released holds residents between a preemption or fault release and
 	// the matching relocate (back to running) or evict (gone). Live
@@ -77,7 +98,7 @@ func Replay(plat *arch.Platform, cfg core.Config, r io.Reader) (*Manager, int, e
 			if ad == nil {
 				// A relocation with no release on record would mean the
 				// journal skipped a reservation change.
-				return nil, tail, fmt.Errorf("manager: replay: relocate of %q without a prior release (seq %d)", e.App, e.Seq)
+				return nil, fmt.Errorf("manager: replay: relocate of %q without a prior release (seq %d)", e.App, e.Seq)
 			}
 			delete(released, e.App)
 			m.load.remove(ad.loadUtilMilli, ad.loadEnergyMilli)
@@ -100,7 +121,7 @@ func Replay(plat *arch.Platform, cfg core.Config, r io.Reader) (*Manager, int, e
 		case journal.EvRestoreLink:
 			plat.RestoreLink(e.Link)
 		default:
-			return nil, tail, fmt.Errorf("manager: replay: unknown event type %q (seq %d)", e.Type, e.Seq)
+			return nil, fmt.Errorf("manager: replay: unknown event type %q (seq %d)", e.Type, e.Seq)
 		}
 	}
 	if len(released) > 0 {
@@ -113,7 +134,7 @@ func Replay(plat *arch.Platform, cfg core.Config, r io.Reader) (*Manager, int, e
 			delete(released, name)
 		}
 	}
-	return m, tail, nil
+	return m, nil
 }
 
 // replayPlan rebuilds one event's reservation plan from its deltas.

@@ -211,3 +211,78 @@ func TestReplayRejectsCorruptStream(t *testing.T) {
 		t.Fatal("replay accepted a corrupted journal")
 	}
 }
+
+// TestReplaySegmentsRotatedPair pins journal rotation end to end: a live
+// run rotates its journal mid-stream, and ReplaySegments over the
+// resulting segment pair rebuilds the sealed live platform bit-for-bit,
+// exactly as a single unrotated journal would. It also pins the failure
+// modes: segments out of order and a lone later segment offered as a
+// full history must both be rejected.
+func TestReplaySegmentsRotatedPair(t *testing.T) {
+	plat := workload.SyntheticRegionPlatform(8, 8, 321, 4)
+	replayBase := plat.Clone()
+
+	var seg1, seg2 bytes.Buffer
+	jw := journal.NewWriter(&seg1, journal.Options{BatchSize: 8})
+	m := New(plat, core.Config{})
+	m.SetJournal(jw)
+
+	admit := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			app, lib := workload.Synthetic(workload.SynthOptions{
+				Shape: workload.ShapeChain, Processes: 3 + i%3, Seed: int64(i % 5),
+				MaxUtil: 0.08, PeriodNs: 40_000,
+				SrcTile:  fmt.Sprintf("SRC%d", i%4),
+				SinkTile: fmt.Sprintf("SINK%d", i%4),
+			})
+			app.Name = fmt.Sprintf("rot-%d", i)
+			if out := m.Admit(app, lib); out.Admitted && i%4 == 0 {
+				_ = m.Stop(app.Name)
+			}
+		}
+	}
+	admit(0, 25)
+	if err := jw.Rotate(&seg2, nil); err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	admit(25, 50)
+	if err := jw.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if seg1.Len() == 0 || seg2.Len() == 0 {
+		t.Fatalf("rotation did not split the stream: %d / %d bytes", seg1.Len(), seg2.Len())
+	}
+
+	rm, tail, err := ReplaySegments(replayBase, core.Config{},
+		bytes.NewReader(seg1.Bytes()), bytes.NewReader(seg2.Bytes()))
+	if err != nil {
+		t.Fatalf("replay segments: %v", err)
+	}
+	if tail != 0 {
+		t.Fatalf("closed journal left %d torn events", tail)
+	}
+	if err := arch.PlatformsIdentical(plat, replayBase); err != nil {
+		t.Fatalf("rotated replay differs from live platform: %v", err)
+	}
+	want := runningNames(m)
+	got := runningNames(rm)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replayed resident set differs:\n got %v\nwant %v", got, want)
+	}
+	if err := rm.CheckInvariants(); err != nil {
+		t.Fatalf("replayed manager invariants: %v", err)
+	}
+
+	// Reordered segments break the seed chain.
+	if _, _, err := ReplaySegments(plat.Clone(), core.Config{},
+		bytes.NewReader(seg2.Bytes()), bytes.NewReader(seg1.Bytes())); err == nil {
+		t.Fatal("replay accepted out-of-order segments")
+	}
+	// A later segment alone is an incomplete history: its snapshot head
+	// declares a non-genesis seed, so offering it as segment 0 of a
+	// chain must fail loudly rather than replay half the events.
+	if _, _, err := ReplaySegments(plat.Clone(), core.Config{},
+		bytes.NewReader(seg2.Bytes())); err == nil {
+		t.Fatal("replay accepted a mid-chain segment as a full history")
+	}
+}

@@ -1,0 +1,70 @@
+package stream
+
+import "sync"
+
+// dlqEntry is one capacity-rejected arrival parked for retry: the spec
+// was structurally fine, the mesh was just full when it arrived.
+type dlqEntry struct {
+	arr Arrival
+	// attempts counts backend submissions so far (≥ 1: the original
+	// rejected one).
+	attempts int
+}
+
+// dlq is the dead-letter queue: a bounded FIFO of capacity-rejected
+// arrivals that the server re-enqueues once measured utilization drops
+// below the retry threshold. All methods are safe for concurrent use.
+type dlq struct {
+	mu      sync.Mutex
+	entries []dlqEntry
+	cap     int
+}
+
+func newDLQ(capacity int) *dlq {
+	return &dlq{cap: capacity}
+}
+
+// add parks an entry; false means the queue is full and the entry must
+// expire instead.
+func (d *dlq) add(e dlqEntry) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.entries) >= d.cap {
+		return false
+	}
+	d.entries = append(d.entries, e)
+	return true
+}
+
+// popBatch removes up to n oldest entries for a retry round.
+func (d *dlq) popBatch(n int) []dlqEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n > len(d.entries) {
+		n = len(d.entries)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]dlqEntry, n)
+	copy(out, d.entries)
+	d.entries = append(d.entries[:0], d.entries[n:]...)
+	return out
+}
+
+// drain empties the queue — the shutdown path, where every remaining
+// entry expires.
+func (d *dlq) drain() []dlqEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := d.entries
+	d.entries = nil
+	return out
+}
+
+// depth reports the current queue length.
+func (d *dlq) depth() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}

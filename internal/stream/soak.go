@@ -1,0 +1,243 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rtsm/internal/churn"
+	"rtsm/internal/core"
+	"rtsm/internal/fleet"
+	"rtsm/internal/journal"
+	"rtsm/internal/manager"
+	"rtsm/internal/workload"
+)
+
+// SoakOptions configures a synthetic soak run: a generator pushes
+// Arrivals applications through a Server over a freshly built backend,
+// a collector keeps at most Resident admissions alive (stopping the
+// oldest beyond that, the same churn discipline as internal/churn), and
+// the run ends with a graceful Shutdown and a ledger check.
+type SoakOptions struct {
+	// Arrivals is how many applications the generator submits.
+	Arrivals int
+	// Mesh is each platform's side length (default 12); RegionSize
+	// shards its commit path (default 3); Seed feeds the generator.
+	Mesh       int
+	RegionSize int
+	Seed       int64
+	// Meshes federates the backend across this many platforms behind a
+	// fleet router; 0 or 1 uses the single manager pipeline.
+	Meshes int
+	// Workers and Queue size each backend pipeline (fleet runs split
+	// them evenly, at least one each); Batch enables batched admission.
+	Workers int
+	Queue   int
+	Batch   int
+	// Catalogue, MaxUtil, PeriodNs and PrioMix shape the synthetic
+	// arrivals exactly as in internal/churn.
+	Catalogue int
+	MaxUtil   float64
+	PeriodNs  int64
+	PrioMix   string
+	// Resident caps concurrently running admissions; beyond it the
+	// collector stops the oldest (default 4× Workers).
+	Resident int
+	// Server carries the stage tuning (class buffers, throttle, DLQ,
+	// breaker, window). Server.Backend is ignored; the soak builds it.
+	Server Options
+	// Journal attaches a durable journal to the manager (single-mesh
+	// runs only, as in internal/churn).
+	Journal *journal.Writer
+}
+
+func (o SoakOptions) withDefaults() SoakOptions {
+	if o.Mesh <= 0 {
+		o.Mesh = 12
+	}
+	if o.RegionSize < 0 {
+		o.RegionSize = 0
+	} else if o.RegionSize == 0 {
+		o.RegionSize = 3
+	}
+	if o.Workers < 1 {
+		o.Workers = 4
+	}
+	if o.Queue < 1 {
+		o.Queue = 16 * o.Workers
+	}
+	if o.Catalogue < 1 {
+		o.Catalogue = 6
+	}
+	if o.MaxUtil <= 0 {
+		o.MaxUtil = 0.12
+	}
+	if o.PeriodNs <= 0 {
+		o.PeriodNs = 40_000
+	}
+	if o.Resident <= 0 {
+		o.Resident = 4 * o.Workers
+	}
+	return o
+}
+
+// SoakResult is one soak run's full accounting.
+type SoakResult struct {
+	// Report is the server's ledger; Stats the backend's counters.
+	Report Report
+	Stats  manager.Stats
+	// Elapsed spans Submit of the first arrival to the end of Shutdown.
+	Elapsed time.Duration
+	// LedgerErr is non-nil when the exactly-one-outcome identity or the
+	// backend's own invariants failed — a soak with a LedgerErr proves
+	// nothing else.
+	LedgerErr error
+	// ConfigErr reports unusable options; nothing ran.
+	ConfigErr error
+}
+
+// ArrivalsPerSec is the sustained end-to-end arrival throughput: every
+// submitted arrival — admitted, rejected, shed or expired — divided by
+// the wall-clock run time.
+func (r SoakResult) ArrivalsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Report.Submitted) / r.Elapsed.Seconds()
+}
+
+// AdmissionsPerSec is the sustained admission throughput.
+func (r SoakResult) AdmissionsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Report.Admitted) / r.Elapsed.Seconds()
+}
+
+// RunSoak builds the backend, runs the soak and returns the accounting.
+// It is the engine behind cmd/serve, the -race soak suite and the
+// BenchmarkStreamServe pair.
+func RunSoak(o SoakOptions) SoakResult {
+	o = o.withDefaults()
+	if o.Meshes > 1 && o.Journal != nil {
+		return SoakResult{ConfigErr: fmt.Errorf("stream: journaling is per-manager; a fleet soak would interleave %d hash chains", o.Meshes)}
+	}
+
+	var backend Backend
+	var mgrs []*manager.Manager
+	endpointRegions := 1
+	if o.Meshes > 1 {
+		perWorkers := max(1, o.Workers/o.Meshes)
+		perQueue := max(1, o.Queue/o.Meshes)
+		specs := make([]workload.MeshSpec, o.Meshes)
+		for i := range specs {
+			specs[i] = workload.MeshSpec{
+				W: o.Mesh, H: o.Mesh,
+				Seed:       o.Seed + int64(i)*101,
+				RegionSize: o.RegionSize,
+			}
+		}
+		plats := workload.SyntheticFleetPlatforms(specs)
+		if o.RegionSize > 0 {
+			endpointRegions = plats[0].RegionCount()
+		}
+		cfgs := make([]fleet.MeshConfig, len(plats))
+		for i, plat := range plats {
+			m := manager.New(plat, core.Config{})
+			m.SetMappingReuse(true)
+			m.SetRepair(true)
+			mgrs = append(mgrs, m)
+			cfgs[i] = fleet.MeshConfig{Manager: m, Workers: perWorkers, Queue: perQueue, Batch: o.Batch}
+		}
+		f, err := fleet.New(fleet.Config{Seed: o.Seed}, cfgs...)
+		if err != nil {
+			return SoakResult{ConfigErr: err}
+		}
+		backend = NewFleetBackend(f)
+	} else {
+		plat := workload.SyntheticRegionPlatform(o.Mesh, o.Mesh, o.Seed, o.RegionSize)
+		if o.RegionSize > 0 {
+			endpointRegions = plat.RegionCount()
+		}
+		m := manager.New(plat, core.Config{})
+		m.SetMappingReuse(true)
+		m.SetRepair(true)
+		if o.Journal != nil {
+			m.SetJournal(o.Journal)
+		}
+		mgrs = append(mgrs, m)
+		pipe := manager.NewPipeline(m, o.Workers, o.Queue)
+		if o.Batch > 1 {
+			pipe.SetBatch(o.Batch)
+		}
+		backend = NewPipelineBackend(m, pipe)
+	}
+
+	sopts := o.Server
+	sopts.Backend = backend
+	srv, err := New(sopts)
+	if err != nil {
+		return SoakResult{ConfigErr: err}
+	}
+
+	// Collector: drains every Result and recycles residents so the mesh
+	// never clogs — without departures a soak admits Resident apps and
+	// then rejects everything, measuring nothing.
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		var residents []string
+		stop := func(name string) {
+			err := backend.Stop(name)
+			switch {
+			case err == nil:
+			case errors.Is(err, manager.ErrRelocating):
+				residents = append(residents, name) // retry on a later round
+			default:
+				// Typically "not running": preempted and evicted already.
+			}
+		}
+		for res := range srv.Results() {
+			if res.Verdict != VerdictAdmitted {
+				continue
+			}
+			residents = append(residents, res.App)
+			if len(residents) > o.Resident {
+				oldest := residents[0]
+				residents = residents[1:]
+				stop(oldest)
+			}
+		}
+	}()
+
+	co := churn.Options{
+		Catalogue: o.Catalogue,
+		MaxUtil:   o.MaxUtil,
+		PeriodNs:  o.PeriodNs,
+		PrioMix:   o.PrioMix,
+	}
+	start := time.Now()
+	for i := 0; i < o.Arrivals; i++ {
+		app, lib := co.Arrival(i, endpointRegions)
+		if err := srv.Submit(app, lib); err != nil {
+			break
+		}
+	}
+	rep := srv.Shutdown()
+	<-collectorDone
+	elapsed := time.Since(start)
+
+	r := SoakResult{Report: rep, Stats: backend.Stats(), Elapsed: elapsed}
+	if !rep.LedgerOK() {
+		r.LedgerErr = fmt.Errorf("stream: ledger broken: admitted %d + rejected %d + shed %d + expired %d != submitted %d",
+			rep.Admitted, rep.Rejected, rep.Shed(), rep.Expired, rep.Submitted)
+		return r
+	}
+	for i, m := range mgrs {
+		if err := m.CheckInvariants(); err != nil {
+			r.LedgerErr = fmt.Errorf("stream: mesh %d invariants: %w", i, err)
+			return r
+		}
+	}
+	return r
+}

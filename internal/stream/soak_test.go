@@ -1,0 +1,219 @@
+package stream
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rtsm/internal/churn"
+	"rtsm/internal/core"
+	"rtsm/internal/journal"
+	"rtsm/internal/manager"
+	"rtsm/internal/model"
+	"rtsm/internal/workload"
+)
+
+// TestServerSoakSaturationBreakerAndDLQ drives the full stage chain over
+// a real mesh in three phases. Phase A saturates: no resident ever
+// departs, so admissions fill the mesh, capacity rejections mount, the
+// breaker opens and retryable rejections park in the DLQ (utilization is
+// high, so nothing retries). Phase B departs residents until utilization
+// drops below the DLQ threshold and parked entries recover. Phase C
+// shuts down gracefully and checks the ledger: exactly one outcome per
+// arrival, BestEffort shed at least as hard as Standard, Critical never
+// shed. Run with -race: the phases exercise every stage concurrently.
+func TestServerSoakSaturationBreakerAndDLQ(t *testing.T) {
+	plat := workload.SyntheticRegionPlatform(8, 8, 99, 0)
+	m := manager.New(plat, core.Config{})
+	m.SetMappingReuse(true)
+	m.SetRepair(true)
+	pipe := manager.NewPipeline(m, 4, 8)
+	backend := NewPipelineBackend(m, pipe)
+	srv, err := New(Options{
+		Backend: backend, Ingress: 64, ClassBuf: 8,
+		DLQ: 512, DLQBelow: 0.5, DLQRetries: 10_000, DLQEvery: time.Millisecond,
+		Breaker: BreakerConfig{Window: 250 * time.Millisecond, MinSamples: 8,
+			Ratio: 0.5, Cooldown: 25 * time.Millisecond, Probes: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Collector: record every result and remember admitted names so
+	// phase B can depart them.
+	var (
+		resMu    sync.Mutex
+		results  []Result
+		admitted []string
+	)
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		for r := range srv.Results() {
+			resMu.Lock()
+			results = append(results, r)
+			if r.Verdict == VerdictAdmitted {
+				admitted = append(admitted, r.App)
+			}
+			resMu.Unlock()
+		}
+	}()
+
+	// Phase A: saturating burst. Apps are fat (MaxUtil 0.3) so a handful
+	// fill the mesh; the even class mix exposes the per-class buffer
+	// asymmetry.
+	co := churn.Options{Catalogue: 4, MaxUtil: 0.3, PeriodNs: 40_000, PrioMix: "1:1:1"}
+	deadline := time.Now().Add(30 * time.Second)
+	subs := 0
+	for (srv.breaker.Opens() == 0 || srv.dlq.depth() == 0) && time.Now().Before(deadline) {
+		app, lib := co.Arrival(subs, 1)
+		if err := srv.Submit(app, lib); err != nil {
+			t.Fatal(err)
+		}
+		subs++
+	}
+	if srv.breaker.Opens() == 0 {
+		t.Fatal("saturating burst never opened the breaker")
+	}
+	if srv.dlq.depth() == 0 {
+		t.Fatal("no capacity-rejected arrival was parked in the DLQ")
+	}
+
+	// Phase B: depart residents until utilization drops and the DLQ
+	// recovers at least one parked arrival. Recovered entries re-admit
+	// and are departed on the next round, so utilization stays low.
+	for srv.c.recovered.Load() == 0 && time.Now().Before(deadline) {
+		resMu.Lock()
+		batch := admitted
+		admitted = nil
+		resMu.Unlock()
+		for _, name := range batch {
+			switch err := backend.Stop(name); {
+			case err == nil:
+			case errors.Is(err, manager.ErrRelocating):
+				resMu.Lock()
+				admitted = append(admitted, name)
+				resMu.Unlock()
+			default:
+				// Already gone (e.g. evicted); nothing to retry.
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if srv.c.recovered.Load() == 0 {
+		t.Fatal("DLQ never recovered after load dropped")
+	}
+
+	// Phase C: graceful shutdown and the ledger.
+	rep := srv.Shutdown()
+	<-collectorDone
+	if !rep.LedgerOK() {
+		t.Fatalf("ledger broken: %+v", rep)
+	}
+	if rep.Submitted != uint64(subs) {
+		t.Fatalf("submitted = %d, want %d", rep.Submitted, subs)
+	}
+	if uint64(len(results)) != rep.Submitted {
+		t.Fatalf("results delivered %d, want %d", len(results), rep.Submitted)
+	}
+	seen := make(map[string]int, len(results))
+	for _, r := range results {
+		seen[r.App]++
+	}
+	for app, c := range seen {
+		if c != 1 {
+			t.Fatalf("app %s got %d outcomes, want exactly 1", app, c)
+		}
+	}
+	if rep.BreakerOpens == 0 {
+		t.Fatalf("breaker opens unreported: %+v", rep)
+	}
+	if rep.Recovered == 0 || rep.Admitted < rep.Recovered {
+		t.Fatalf("recovery accounting broken: %+v", rep)
+	}
+	if rep.ShedByClass[model.BestEffort] == 0 {
+		t.Fatalf("saturation shed no BestEffort arrivals: %+v", rep)
+	}
+	if rep.ShedByClass[model.Critical] != 0 {
+		t.Fatalf("Critical arrivals were shed: %+v", rep)
+	}
+	// Buffer-shed onset order: the first BestEffort arrival dropped at
+	// its class buffer must precede (in submission order) the first
+	// Standard one — BestEffort has the smallest buffer and dispatch
+	// drains it last, so it overflows first. Queue and breaker sheds hit
+	// whatever class is dispatched when the queue fills or the breaker
+	// opens, so they carry no onset ordering. Arrival names are churn's
+	// "app-<i>-<class>".
+	firstShed := map[model.Priority]int{}
+	for _, r := range results {
+		if r.Verdict != VerdictShed || r.ShedAt != ShedAtBuffer {
+			continue
+		}
+		i, err := strconv.Atoi(strings.Split(r.App, "-")[1])
+		if err != nil {
+			t.Fatalf("unparseable arrival name %q: %v", r.App, err)
+		}
+		if cur, ok := firstShed[r.Class]; !ok || i < cur {
+			firstShed[r.Class] = i
+		}
+	}
+	if beFirst, ok := firstShed[model.BestEffort]; ok {
+		if stdFirst, ok := firstShed[model.Standard]; ok && stdFirst < beFirst {
+			t.Fatalf("Standard shed from arrival %d, before BestEffort's first shed at %d",
+				stdFirst, beFirst)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check the backend's ledger against the server's.
+	st := backend.Stats()
+	if st.DLQRecovered != rep.Recovered || st.DLQExpired != rep.Expired {
+		t.Fatalf("backend DLQ ledger (rec %d, exp %d) != server (%d, %d)",
+			st.DLQRecovered, st.DLQExpired, rep.Recovered, rep.Expired)
+	}
+}
+
+// TestRunSoakSmoke runs the packaged soak end to end for both backend
+// shapes and checks that the ledger and invariants hold.
+func TestRunSoakSmoke(t *testing.T) {
+	for _, meshes := range []int{1, 2} {
+		res := RunSoak(SoakOptions{
+			Arrivals: 1200, Mesh: 8, Seed: 7, Meshes: meshes,
+			Workers: 2, Queue: 8, Catalogue: 4, MaxUtil: 0.2,
+			PrioMix: "60:30:10", Resident: 6,
+			Server: Options{Ingress: 32, ClassBuf: 16,
+				DLQ: 128, DLQBelow: 0.6, DLQEvery: time.Millisecond},
+		})
+		if res.ConfigErr != nil {
+			t.Fatalf("meshes=%d: %v", meshes, res.ConfigErr)
+		}
+		if res.LedgerErr != nil {
+			t.Fatalf("meshes=%d: %v", meshes, res.LedgerErr)
+		}
+		if res.Report.Submitted != 1200 {
+			t.Fatalf("meshes=%d: submitted = %d, want 1200", meshes, res.Report.Submitted)
+		}
+		if res.Report.Admitted == 0 {
+			t.Fatalf("meshes=%d: nothing admitted: %+v", meshes, res.Report)
+		}
+		if res.ArrivalsPerSec() <= 0 || res.AdmissionsPerSec() <= 0 {
+			t.Fatalf("meshes=%d: throughput not measured: %+v", meshes, res)
+		}
+	}
+}
+
+// TestRunSoakRejectsFleetJournal pins the config guard: journaling is a
+// per-manager hash chain, so a fleet soak with a journal must refuse to
+// run rather than interleave chains.
+func TestRunSoakRejectsFleetJournal(t *testing.T) {
+	// The guard fires before the writer is ever used, so a zero writer
+	// is enough to trip it.
+	res := RunSoak(SoakOptions{Arrivals: 1, Meshes: 2, Journal: &journal.Writer{}})
+	if res.ConfigErr == nil {
+		t.Fatal("fleet soak with a journal was accepted")
+	}
+}

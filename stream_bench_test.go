@@ -1,0 +1,82 @@
+package rtsm
+
+import (
+	"testing"
+
+	"rtsm/internal/churn"
+	"rtsm/internal/stream"
+)
+
+// The streaming-server pair prices the admission front-end: the same
+// unsaturated all-Critical churn scenario runs once straight through
+// the pipeline (internal/churn, the baseline) and once through the full
+// staged server — ingress buffer, classifier, dispatch, per-arrival
+// outcome watchers, rolling metrics window. All-Critical keeps the
+// comparison honest: Critical is the blocking-backpressure path, so the
+// server admits exactly the arrivals the bare pipeline would (nothing
+// sheds) and the throughput difference is pure stage overhead. The bar
+// is ≥0.8x the direct admissions/sec: the front-end must cost less than
+// a fifth of the throughput it protects. CI uploads the pair as
+// BENCH_9.json; TestBenchTrajectory gates the checked-in number.
+func streamServeChurnOptions(n int) churn.Options {
+	o := churn.Defaults()
+	o.Apps = n
+	o.Mesh = 8
+	o.RegionSize = 3
+	o.Catalogue = 4
+	o.MaxUtil = 0.12
+	o.Workers = 4
+	o.Queue = 16
+	o.Resident = 16
+	o.PrioMix = "0:0:1"
+	// The soak's manager runs without the preemption planner; keep the
+	// baseline identical.
+	o.Preempt = false
+	return o
+}
+
+// BenchmarkStreamServeDirect is the baseline: the scenario straight
+// through the admission pipeline with no server stages in front.
+func BenchmarkStreamServeDirect(b *testing.B) {
+	o := streamServeChurnOptions(b.N)
+	b.ResetTimer()
+	r := churn.Run(o)
+	b.StopTimer()
+	if r.ConfigErr != nil {
+		b.Fatal(r.ConfigErr)
+	}
+	if r.LedgerErr != nil {
+		b.Fatalf("ledger corrupted under benchmark load: %v", r.LedgerErr)
+	}
+	if elapsed := b.Elapsed(); elapsed > 0 {
+		b.ReportMetric(float64(r.Stats.Admitted)/elapsed.Seconds(), "admissions/sec")
+	}
+}
+
+// BenchmarkStreamServeServer runs the identical scenario through the
+// staged streaming server. Acceptance bar: ≥0.8x the direct
+// admissions/sec.
+func BenchmarkStreamServeServer(b *testing.B) {
+	b.ResetTimer()
+	res := stream.RunSoak(stream.SoakOptions{
+		Arrivals: b.N, Mesh: 8, RegionSize: 3, Seed: 123,
+		Catalogue: 4, MaxUtil: 0.12, Workers: 4, Queue: 16, Resident: 16,
+		PrioMix: "0:0:1",
+		Server:  stream.Options{Ingress: 256, ClassBuf: 64},
+	})
+	b.StopTimer()
+	if res.ConfigErr != nil {
+		b.Fatal(res.ConfigErr)
+	}
+	if res.LedgerErr != nil {
+		b.Fatalf("ledger corrupted under benchmark load: %v", res.LedgerErr)
+	}
+	if shed := res.Report.Shed(); shed > 0 {
+		// Shedding would mean the server did less mapping work than the
+		// baseline and the comparison measures nothing.
+		b.Fatalf("unsaturated scenario shed %d arrivals", shed)
+	}
+	if elapsed := b.Elapsed(); elapsed > 0 {
+		b.ReportMetric(float64(res.Report.Admitted)/elapsed.Seconds(), "admissions/sec")
+	}
+}
