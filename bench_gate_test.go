@@ -50,6 +50,11 @@ var benchBars = []benchBar{
 	// admission throughput it protects (the reference run records
 	// ~parity at 0.99x; see BENCH_9.json).
 	{file: "BENCH_9.json", key: "BenchmarkStreamServeServer", min: 0.8},
+	// The AIMD overload controller must find the hand-tuned static
+	// operating point on its own: ≥0.9x the best static rate's
+	// admissions/sec with the service-latency SLO held (the reference
+	// run records 0.91x; see BENCH_10.json).
+	{file: "BENCH_10.json", key: "BenchmarkStreamAdaptiveAIMD", min: 0.9},
 }
 
 // TestBenchTrajectory gates the checked-in benchmark artifacts: every

@@ -1,37 +1,52 @@
-// Command serve runs the streaming admission front-end against a
-// synthetic arrival storm: a generator pushes applications through the
+// Command serve runs the streaming admission front-end in one of three
+// modes. By default it drives a synthetic arrival storm through the
 // staged server (ingress throttle, per-class dropping buffers, circuit
 // breaker, dead-letter retry queue) into a single manager pipeline or a
-// federated fleet, while a collector recycles residents so the mesh
-// keeps churning. It prints the server's ledger — every arrival ends in
-// exactly one of admitted/rejected/shed/expired — plus the rolling
-// latency window, and exits nonzero if the ledger or the reservation
-// invariants break.
+// federated fleet, printing the exactly-one-outcome ledger. With
+// -listen it becomes a real service: an HTTP front door (POST /admit,
+// GET /healthz, /readyz, /metricsz) over the same pipeline, with
+// graceful drain on SIGINT/SIGTERM and — when -journal names a file
+// with previous segments — crash-restart recovery: the chain is
+// verified, the torn tail truncated, and the platform plus resident set
+// replayed before the listener accepts traffic. With -chaos it executes
+// a deterministic fault script against an in-process HTTP door and
+// exits nonzero if the ledger breaks or a Critical arrival is shed.
 //
 // Examples:
 //
 //	go run ./cmd/serve                          # 100k arrivals, one mesh
 //	go run ./cmd/serve -arrivals 2000000        # the EXPERIMENTS.md soak
 //	go run ./cmd/serve -meshes 4                # fleet-backed admission
-//	go run ./cmd/serve -rate 50000              # ingress throttle, 50k/s
-//	go run ./cmd/serve -dlq 0                   # no dead-letter queue
-//	go run ./cmd/serve -journal run.jsonl       # durable admission journal
-//	go run ./cmd/serve -journal run.jsonl -syncevery 64  # periodic fsync
+//	go run ./cmd/serve -slo 5ms                 # AIMD adaptive admit rate
+//	go run ./cmd/serve -listen :8080 -journal run.jsonl   # network service
+//	go run ./cmd/serve -chaos script.txt -journal c.jsonl # chaos harness
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"rtsm/internal/chaos"
+	"rtsm/internal/churn"
+	"rtsm/internal/core"
+	"rtsm/internal/front"
 	"rtsm/internal/journal"
+	"rtsm/internal/manager"
 	"rtsm/internal/model"
 	"rtsm/internal/stream"
+	"rtsm/internal/workload"
 )
 
 var (
-	arrivals  = flag.Int("arrivals", 100_000, "number of application arrivals to generate")
+	arrivals  = flag.Int("arrivals", 100_000, "number of application arrivals to generate (soak and chaos modes)")
 	workers   = flag.Int("workers", 4, "admission worker goroutines (split across meshes when federated)")
 	queue     = flag.Int("queue", 0, "backend work queue depth (0 = 16x workers)")
 	mesh      = flag.Int("mesh", 12, "platform mesh width and height")
@@ -47,7 +62,7 @@ var (
 
 	ingress    = flag.Int("ingress", 256, "ingress buffer depth (Submit blocks when full)")
 	classbuf   = flag.Int("classbuf", 64, "Critical class buffer; Standard gets half, BestEffort a quarter")
-	rate       = flag.Int("rate", 0, "throttle dispatch to this many arrivals/sec (0 = unlimited)")
+	rate       = flag.Int("rate", 0, "throttle dispatch to this many arrivals/sec (0 = unlimited; ignored when -slo is set)")
 	dlqCap     = flag.Int("dlq", 1024, "dead-letter queue capacity for capacity-rejected arrivals (0 = off)")
 	dlqBelow   = flag.Float64("dlq-below", 0.75, "retry parked arrivals when utilization drops below this")
 	dlqRetries = flag.Int("dlq-retries", 3, "backend attempts per arrival before it expires")
@@ -56,13 +71,21 @@ var (
 	brkWindow   = flag.Duration("breaker-window", 500*time.Millisecond, "circuit-breaker failure-ratio window")
 	brkMin      = flag.Int("breaker-min", 20, "min samples in the window before the breaker can trip")
 	brkRatio    = flag.Float64("breaker-ratio", 0.5, "failure ratio that opens the breaker")
-	brkLatency  = flag.Duration("breaker-latency", 0, "admission latency counted as a failure (0 = off)")
+	brkLatency  = flag.Duration("breaker-latency", 0, "admission latency counted as a failure (0 = off; -slo sets it too)")
 	brkCooldown = flag.Duration("breaker-cooldown", 250*time.Millisecond, "open -> half-open cooldown")
 	brkProbes   = flag.Int("breaker-probes", 5, "half-open probe admissions before closing")
+
+	slo          = flag.Duration("slo", 0, "p99 admission-latency SLO: enables the AIMD adaptive admit rate and latency-SLO breaker mode")
+	aimdMin      = flag.Float64("aimd-min", 0, "AIMD rate floor in arrivals/sec (0 = default 50)")
+	aimdMax      = flag.Float64("aimd-max", 0, "AIMD rate ceiling in arrivals/sec (0 = default 1e6)")
+	aimdInterval = flag.Duration("aimd-interval", 0, "AIMD control period (0 = default 20ms)")
 
 	window    = flag.Duration("window", time.Second, "rolling metrics window for p50/p99 and rate")
 	journalTo = flag.String("journal", "", "stream the hash-chained admission journal to this file (single-mesh only)")
 	syncevery = flag.Int("syncevery", 0, "fsync the journal after every n-th event (0 = on acks only)")
+
+	listen    = flag.String("listen", "", "serve the HTTP front door on this address (e.g. :8080) until SIGINT/SIGTERM")
+	chaosPath = flag.String("chaos", "", "execute this chaos script against an in-process HTTP door and exit")
 
 	requireShed = flag.Bool("requireshed", false, "exit nonzero unless the run shed at least one arrival (CI smoke)")
 	requireDLQ  = flag.Bool("requiredlq", false, "exit nonzero unless the DLQ recovered at least one arrival (CI smoke)")
@@ -70,21 +93,47 @@ var (
 
 func main() {
 	flag.Parse()
+	switch {
+	case *chaosPath != "":
+		os.Exit(runChaos())
+	case *listen != "":
+		os.Exit(runListen())
+	default:
+		os.Exit(runSoak())
+	}
+}
 
+// serverOptions assembles the stream tuning shared by all three modes.
+// -slo wires the latency objective end to end: it enables the AIMD
+// controller and, unless -breaker-latency overrides it, arms the
+// breaker's latency-SLO mode with the same duration.
+func serverOptions() stream.Options {
+	brkLat := *brkLatency
+	if brkLat == 0 && *slo > 0 {
+		brkLat = *slo
+	}
+	return stream.Options{
+		Ingress: *ingress, ClassBuf: *classbuf, Rate: *rate,
+		DLQ: *dlqCap, DLQBelow: *dlqBelow, DLQRetries: *dlqRetries, DLQEvery: *dlqEvery,
+		Breaker: stream.BreakerConfig{
+			Window: *brkWindow, MinSamples: *brkMin, Ratio: *brkRatio,
+			Latency: brkLat, Cooldown: *brkCooldown, Probes: *brkProbes,
+		},
+		AIMD: stream.AIMDConfig{
+			SLO: *slo, MinRate: *aimdMin, MaxRate: *aimdMax, Interval: *aimdInterval,
+		},
+		Window: *window,
+	}
+}
+
+// runSoak is the original in-process storm: generate, admit, report.
+func runSoak() int {
 	opts := stream.SoakOptions{
 		Arrivals: *arrivals, Mesh: *mesh, RegionSize: *regions, Seed: *seed,
 		Meshes: *meshes, Workers: *workers, Queue: *queue, Batch: *batch,
 		Catalogue: *catalogue, MaxUtil: *util, PeriodNs: *period,
 		PrioMix: *priomix, Resident: *resident,
-		Server: stream.Options{
-			Ingress: *ingress, ClassBuf: *classbuf, Rate: *rate,
-			DLQ: *dlqCap, DLQBelow: *dlqBelow, DLQRetries: *dlqRetries, DLQEvery: *dlqEvery,
-			Breaker: stream.BreakerConfig{
-				Window: *brkWindow, MinSamples: *brkMin, Ratio: *brkRatio,
-				Latency: *brkLatency, Cooldown: *brkCooldown, Probes: *brkProbes,
-			},
-			Window: *window,
-		},
+		Server: serverOptions(),
 	}
 
 	var jfile *os.File
@@ -92,7 +141,7 @@ func main() {
 		f, err := os.Create(*journalTo)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		jfile = f
 		opts.Journal = journal.NewWriter(f, journal.Options{Syncer: f, SyncEvery: *syncevery})
@@ -101,19 +150,28 @@ func main() {
 	res := stream.RunSoak(opts)
 	if res.ConfigErr != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", res.ConfigErr)
-		os.Exit(2)
+		return 2
 	}
 	if opts.Journal != nil {
 		if err := opts.Journal.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: journal: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := jfile.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: journal: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
-	report(res)
+	fmt.Printf("streaming admission:\n")
+	fmt.Printf("  arrivals          %d over %v (%.0f arrivals/sec, %.0f admissions/sec)\n",
+		res.Report.Submitted, res.Elapsed.Round(time.Millisecond), res.ArrivalsPerSec(), res.AdmissionsPerSec())
+	reportStream(res.Report)
+	st := res.Stats
+	fmt.Printf("  backend           %d admitted, %d rejected, %d conflicts, %d template hits\n",
+		st.Admitted, st.Rejected, st.Conflicts, st.TemplateHits)
+	if res.LedgerErr == nil {
+		fmt.Printf("  ledger ok         true\n")
+	}
 
 	fail := false
 	if res.LedgerErr != nil {
@@ -129,16 +187,238 @@ func main() {
 		fail = true
 	}
 	if fail {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func report(res stream.SoakResult) {
-	rep := res.Report
-	st := res.Stats
-	fmt.Printf("streaming admission:\n")
-	fmt.Printf("  arrivals          %d over %v (%.0f arrivals/sec, %.0f admissions/sec)\n",
-		rep.Submitted, res.Elapsed.Round(time.Millisecond), res.ArrivalsPerSec(), res.AdmissionsPerSec())
+// runChaos executes a fault script against an in-process HTTP door (see
+// internal/chaos for the script DSL) and gates on the robustness
+// invariants: nonzero exit on a broken aggregate ledger or any shed
+// Critical arrival.
+func runChaos() int {
+	f, err := os.Open(*chaosPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: chaos: %v\n", err)
+		return 2
+	}
+	script, err := chaos.ParseScript(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		return 2
+	}
+	rep, err := chaos.Run(script, chaos.Options{
+		Arrivals: *arrivals, Mesh: *mesh, RegionSize: *regions, Seed: *seed,
+		Workers: *workers, Queue: *queue, Catalogue: *catalogue,
+		MaxUtil: *util, PeriodNs: *period, PrioMix: *priomix, Resident: *resident,
+		Server: serverOptions(), JournalPath: *journalTo, SyncEvery: *syncevery,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		return 2
+	}
+	fmt.Printf("chaos run:\n")
+	fmt.Printf("  arrivals          %d over %d incarnation(s)\n", rep.Arrivals, rep.Incarnations)
+	fmt.Printf("  steps             %d faults, %d restores, %d spikes, %d drains, %d crashes\n",
+		rep.FaultsInjected, rep.Restores, rep.Spikes, rep.Drains, rep.Crashes)
+	if rep.Crashes > 0 {
+		fmt.Printf("  recovery          %d replay checks passed, %d torn events discarded\n",
+			rep.ReplayChecks, rep.TornDiscarded)
+	}
+	reportStream(rep.Stream)
+	fmt.Printf("  door              %d requests, %d admitted, %d busy, %d rejected, %d retries\n",
+		rep.Door.Requests, rep.Door.Admitted, rep.Door.Busy, rep.Door.Rejected, rep.Door.Retries)
+	fmt.Printf("  ledger ok         %v\n", rep.LedgerOK)
+
+	fail := false
+	if !rep.LedgerOK {
+		fmt.Fprintln(os.Stderr, "serve: chaos: aggregate ledger mismatch")
+		fail = true
+	}
+	if rep.CriticalShed != 0 {
+		fmt.Fprintf(os.Stderr, "serve: chaos: %d Critical arrivals shed\n", rep.CriticalShed)
+		fail = true
+	}
+	if fail {
+		return 1
+	}
+	return 0
+}
+
+// runListen serves the HTTP front door until SIGINT/SIGTERM, then
+// drains: readiness flips first, in-flight /admit requests finish, the
+// stream pipeline shuts down, and the final ledger prints. With
+// -journal, existing segments are recovered before the listener binds —
+// chain verified, torn tail truncated, platform and residents replayed
+// — and journaling resumes in a fresh segment continuing the chain.
+func runListen() int {
+	if *meshes > 1 {
+		fmt.Fprintln(os.Stderr, "serve: -listen is single-mesh (the journal replays one platform)")
+		return 2
+	}
+	plat := workload.SyntheticRegionPlatform(*mesh, *mesh, *seed, *regions)
+	epRegs := 1
+	if *regions > 0 {
+		epRegs = plat.RegionCount()
+	}
+
+	var (
+		m     *manager.Manager
+		jw    *journal.Writer
+		jfile *os.File
+	)
+	if *journalTo != "" {
+		segs := journal.SegmentPaths(*journalTo)
+		if len(segs) > 0 {
+			rec, err := journal.RecoverFiles(segs...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: recover: %v\n", err)
+				return 2
+			}
+			m, err = manager.ReplayEvents(plat, core.Config{}, rec.Events)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: replay: %v\n", err)
+				return 2
+			}
+			f, err := os.Create(journal.NextSegmentPath(*journalTo, len(segs)))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				return 2
+			}
+			jw, err = journal.NewResumedWriter(f, rec.Chain, rec.Seq, journal.Options{Syncer: f, SyncEvery: *syncevery})
+			if err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				return 2
+			}
+			jfile = f
+			fmt.Printf("recovered %d events (%d residents) from %d segment(s), resuming at seq %d\n",
+				len(rec.Events), len(m.Running()), len(segs), rec.Seq)
+		} else {
+			f, err := os.Create(*journalTo)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				return 2
+			}
+			jfile = f
+			jw = journal.NewWriter(f, journal.Options{Syncer: f, SyncEvery: *syncevery})
+		}
+	}
+	if m == nil {
+		m = manager.New(plat, core.Config{})
+	}
+	m.SetMappingReuse(true)
+	m.SetRepair(true)
+	if jw != nil {
+		m.SetJournal(jw)
+	}
+
+	q := *queue
+	if q < 1 {
+		q = 16 * *workers
+	}
+	pipe := manager.NewPipeline(m, *workers, q)
+	sopts := serverOptions()
+	sopts.Backend = stream.NewPipelineBackend(m, pipe)
+	srv, err := stream.New(sopts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		return 2
+	}
+	co := churn.Options{Catalogue: *catalogue, MaxUtil: *util, PeriodNs: *period, PrioMix: *priomix}
+	door, err := front.Listen(front.Options{
+		Server: srv,
+		Addr:   *listen,
+		Seed:   *seed,
+		Decode: func(req *http.Request) (*model.Application, *model.Library, error) {
+			var body struct {
+				Index int `json:"index"`
+			}
+			if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+				return nil, nil, fmt.Errorf("bad body: %w", err)
+			}
+			if body.Index < 0 {
+				return nil, nil, fmt.Errorf("negative index %d", body.Index)
+			}
+			app, lib := co.Arrival(body.Index, epRegs)
+			return app, lib, nil
+		},
+	})
+	if err != nil {
+		srv.Shutdown()
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		return 2
+	}
+
+	// Recycle residents beyond the cap so the mesh keeps admitting, as
+	// the soak collector does. Recovered residents join the queue first.
+	cap := *resident
+	if cap <= 0 {
+		cap = 4 * *workers
+	}
+	var residents []string
+	for _, ad := range m.Running() {
+		residents = append(residents, ad.App.Name)
+	}
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for res := range srv.Results() {
+			if res.Verdict != stream.VerdictAdmitted {
+				continue
+			}
+			residents = append(residents, res.App)
+			if len(residents) <= cap {
+				continue
+			}
+			name := residents[0]
+			residents = residents[1:]
+			if err := sopts.Backend.Stop(name); errors.Is(err, manager.ErrRelocating) {
+				residents = append(residents, name) // retry later
+			}
+		}
+	}()
+
+	fmt.Printf("listening on %s (mesh %dx%d, %d workers)\n", door.Addr(), *mesh, *mesh, *workers)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("draining...")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := door.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: drain: %v\n", err)
+	}
+	rep := srv.Shutdown()
+	<-collected
+	if jw != nil {
+		if err := jw.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: journal: %v\n", err)
+			return 1
+		}
+		if err := jfile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: journal: %v\n", err)
+			return 1
+		}
+	}
+
+	ds := door.Stats()
+	fmt.Printf("front door:\n")
+	fmt.Printf("  requests          %d (%d admitted, %d busy, %d rejected, %d timeout, %d bad, %d retries)\n",
+		ds.Requests, ds.Admitted, ds.Busy, ds.Rejected, ds.Timeout, ds.BadRequest, ds.Retries)
+	reportStream(rep)
+	fmt.Printf("  ledger ok         %v\n", rep.LedgerOK())
+	if !rep.LedgerOK() {
+		fmt.Fprintln(os.Stderr, "serve: ledger mismatch")
+		return 1
+	}
+	return 0
+}
+
+// reportStream prints the stream ledger lines shared by all modes.
+func reportStream(rep stream.Report) {
 	fmt.Printf("  ledger            %d admitted (%d via DLQ) + %d rejected + %d shed + %d expired = %d\n",
 		rep.Admitted, rep.Recovered, rep.Rejected, rep.Shed(), rep.Expired,
 		rep.Admitted+rep.Rejected+rep.Shed()+rep.Expired)
@@ -149,17 +429,26 @@ func report(res stream.SoakResult) {
 		fmt.Printf("  shed %-12s %d\n", model.Priority(c), rep.ShedByClass[c])
 	}
 	if rep.Shed() > 0 {
-		fmt.Printf("  shed stages       %d at class buffers, %d at the breaker, %d at the backend queue\n",
-			rep.ShedBuffer, rep.ShedBreaker, rep.ShedQueue)
+		fmt.Printf("  shed stages       %d at class buffers, %d at the breaker, %d at the backend queue, %d at deadlines\n",
+			rep.ShedBuffer, rep.ShedBreaker, rep.ShedQueue, rep.ShedDeadline)
 	}
-	fmt.Printf("  breaker           %d opens\n", rep.BreakerOpens)
+	fmt.Printf("  breaker           %d opens (now %s)\n", rep.BreakerOpens, rep.BreakerState)
+	if rep.RateCuts+rep.RateRaises > 0 {
+		fmt.Printf("  aimd              %.0f arrivals/sec now, %d raises, %d cuts\n",
+			rep.AdmitRate, rep.RateRaises, rep.RateCuts)
+	}
 	fmt.Printf("  dead letters      %d recovered, %d expired\n", rep.Recovered, rep.Expired)
+	for c := 0; c < model.NumPriorities; c++ {
+		if rep.RecoveredByClass[c] == 0 && rep.ExpiredByClass[c] == 0 {
+			continue
+		}
+		fmt.Printf("  dlq %-13s %d recovered, %d expired\n",
+			model.Priority(c), rep.RecoveredByClass[c], rep.ExpiredByClass[c])
+	}
 	fmt.Printf("  window            p50 %v, p99 %v, %.0f admissions/sec over %d samples\n",
 		rep.Window.P50.Round(time.Microsecond), rep.Window.P99.Round(time.Microsecond),
 		rep.Window.PerSec, rep.Window.Samples)
-	fmt.Printf("  backend           %d admitted, %d rejected, %d conflicts, %d template hits\n",
-		st.Admitted, st.Rejected, st.Conflicts, st.TemplateHits)
-	if res.LedgerErr == nil {
-		fmt.Printf("  ledger ok         true\n")
-	}
+	fmt.Printf("  service           p50 %v, p99 %v over %d samples\n",
+		rep.Service.P50.Round(time.Microsecond), rep.Service.P99.Round(time.Microsecond),
+		rep.Service.Samples)
 }

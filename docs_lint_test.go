@@ -25,6 +25,8 @@ func TestGodocCoverage(t *testing.T) {
 		"internal/fleet",
 		"internal/churn",
 		"internal/stream",
+		"internal/front",
+		"internal/chaos",
 	}
 	for _, dir := range pkgs {
 		t.Run(strings.ReplaceAll(dir, "/", "_"), func(t *testing.T) {

@@ -1,0 +1,129 @@
+package chaos
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rtsm/internal/stream"
+)
+
+// TestParseScript pins the DSL: good lines parse into sorted steps, bad
+// lines fail loudly.
+func TestParseScript(t *testing.T) {
+	src := `
+# warmup, then trouble
+@200 spike 2ms 50
+@100 failtile 3
+@150 faillink 5
+@250 restoretile 3
+@300 drain
+@400 crash
+`
+	sc, err := ParseScript(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Steps) != 6 {
+		t.Fatalf("parsed %d steps, want 6", len(sc.Steps))
+	}
+	for i := 1; i < len(sc.Steps); i++ {
+		if sc.Steps[i].At < sc.Steps[i-1].At {
+			t.Fatalf("steps not sorted: %+v", sc.Steps)
+		}
+	}
+	if sc.Crashes() != 1 || sc.Drains() != 1 {
+		t.Fatalf("crashes %d, drains %d, want 1/1", sc.Crashes(), sc.Drains())
+	}
+	if sc.Steps[2].Op != OpSpike || sc.Steps[2].Dur != 2*time.Millisecond || sc.Steps[2].N != 50 {
+		t.Fatalf("spike step parsed wrong: %+v", sc.Steps[2])
+	}
+
+	for _, bad := range []string{
+		"100 failtile 3",      // missing @
+		"@-5 failtile 1",      // negative index
+		"@10 explode",         // unknown op
+		"@10 failtile",        // missing ordinal
+		"@10 spike 2ms",       // missing count
+		"@10 spike banana 50", // bad duration
+		"@10 drain now",       // extra args
+	} {
+		if _, err := ParseScript(strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted bad line %q", bad)
+		}
+	}
+}
+
+// TestChaosSoak is the harness's own invariant check, run with -race in
+// CI: a seeded script injects tile and link faults, a latency spike, a
+// graceful drain and a mid-run crash (with journal replay verified
+// bit-for-bit inside Run) against the live HTTP door — and the
+// aggregate ledger must still balance exactly, with Critical never
+// shed.
+func TestChaosSoak(t *testing.T) {
+	script, err := ParseScript(strings.NewReader(`
+@100 failtile 3
+@150 faillink 7
+@200 spike 1ms 40
+@250 restoretile 3
+@300 drain
+@350 crash
+@450 restorelink 7
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(script, Options{
+		Arrivals:    600,
+		Mesh:        8,
+		Seed:        42,
+		Workers:     4,
+		MaxUtil:     0.12,
+		PrioMix:     "60:30:10",
+		JournalPath: filepath.Join(t.TempDir(), "chaos.jsonl"),
+		Server: stream.Options{
+			DLQ: 256, DLQBelow: 0.8, DLQEvery: time.Millisecond,
+			AIMD: stream.AIMDConfig{SLO: 20 * time.Millisecond, Interval: 5 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.LedgerOK {
+		t.Fatalf("aggregate ledger broken: %+v", rep.Stream)
+	}
+	if rep.CriticalShed != 0 {
+		t.Fatalf("chaos shed %d Critical arrivals", rep.CriticalShed)
+	}
+	if rep.Arrivals != 600 {
+		t.Fatalf("issued %d arrivals, want 600", rep.Arrivals)
+	}
+	if rep.Incarnations != 2 || rep.Crashes != 1 || rep.ReplayChecks != 1 {
+		t.Fatalf("incarnations %d, crashes %d, replay checks %d, want 2/1/1",
+			rep.Incarnations, rep.Crashes, rep.ReplayChecks)
+	}
+	if rep.Drains != 1 || rep.Spikes != 1 {
+		t.Fatalf("drains %d, spikes %d, want 1/1", rep.Drains, rep.Spikes)
+	}
+	if rep.FaultsInjected == 0 {
+		t.Fatal("no fault took effect; script ordinals broken")
+	}
+	if rep.Stream.Admitted == 0 || rep.Door.Requests == 0 {
+		t.Fatalf("run admitted nothing: %+v / %+v", rep.Stream, rep.Door)
+	}
+	t.Logf("chaos soak: %+v", rep)
+}
+
+// TestChaosRejectsBadConfig pins the guard rails: crash steps without a
+// journal and steps beyond the run must refuse to start.
+func TestChaosRejectsBadConfig(t *testing.T) {
+	crash := Script{Steps: []Step{{At: 10, Op: OpCrash}}}
+	if _, err := Run(crash, Options{Arrivals: 100}); err == nil {
+		t.Fatal("crash without a journal started")
+	}
+	late := Script{Steps: []Step{{At: 1000, Op: OpDrain}}}
+	if _, err := Run(late, Options{Arrivals: 100}); err == nil {
+		t.Fatal("step beyond the run started")
+	}
+}

@@ -314,7 +314,10 @@ func (pl *commitPlan) violations(plat *arch.Platform) []ValidationError {
 		}
 	}
 	for i := range out {
-		if out[i].Kind == ResLink {
+		// Link violations carry Tile == arch.NoTile; attribute them via the
+		// link. ResLinkFailed included — the run-time FailLink path is the
+		// only producer and routing it through RegionOfTile(NoTile) panics.
+		if out[i].Link >= 0 {
 			out[i].Region = plat.RegionOfLink(out[i].Link)
 		} else {
 			out[i].Region = plat.RegionOfTile(out[i].Tile)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"rtsm/internal/arch"
 	"rtsm/internal/workload"
 )
 
@@ -115,6 +116,57 @@ func TestApplyDetectsStaleSnapshot(t *testing.T) {
 	Remove(plat, resFirst)
 	if err := Apply(plat, resSecond); err != nil {
 		t.Fatalf("second admission should commit after release: %v", err)
+	}
+}
+
+// TestViolationsAttributeFailedLink pins the run-time fault path: a plan
+// holding bandwidth on a link that has since failed must report a
+// ResLinkFailed violation attributed through the link's region — not
+// panic trying to resolve arch.NoTile. This is the exact shape Repair
+// sees when FailLink evacuates a resident whose routes crossed the link.
+func TestViolationsAttributeFailedLink(t *testing.T) {
+	plat := workload.SyntheticPlatform(4, 4, 7)
+	app, lib := workload.Synthetic(workload.SynthOptions{
+		Shape:     workload.ShapeChain,
+		Processes: 4,
+		Seed:      3,
+		MaxUtil:   0.3,
+	})
+	res, err := NewMapper(lib).Map(app, plat)
+	if err != nil || !res.Feasible {
+		t.Fatalf("map failed: %v", err)
+	}
+	plan, err := NewPlan(plat, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed arch.LinkID = -1
+	for _, l := range plat.Links {
+		if plan.UsesLink(l.ID) {
+			failed = l.ID
+			break
+		}
+	}
+	if failed < 0 {
+		t.Skip("mapping reserved no link bandwidth")
+	}
+	plat.FailLink(failed)
+	vs := plan.Violations(plat)
+	found := false
+	for _, v := range vs {
+		if v.Kind != ResLinkFailed {
+			continue
+		}
+		found = true
+		if v.Link != failed || v.Tile != arch.NoTile {
+			t.Fatalf("failed-link violation misattributed: %+v", v)
+		}
+		if v.Region != plat.RegionOfLink(failed) {
+			t.Fatalf("violation region %d, want %d", v.Region, plat.RegionOfLink(failed))
+		}
+	}
+	if !found {
+		t.Fatalf("no ResLinkFailed violation for link %d in %+v", failed, vs)
 	}
 }
 

@@ -1,0 +1,372 @@
+package front
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"rtsm/internal/churn"
+	"rtsm/internal/core"
+	"rtsm/internal/manager"
+	"rtsm/internal/model"
+	"rtsm/internal/stream"
+	"rtsm/internal/workload"
+)
+
+// admitReq is the test wire format: the churn catalogue index.
+type admitReq struct {
+	Index int `json:"index"`
+}
+
+// churnDecoder decodes {"index": n} bodies into deterministic churn
+// arrivals — the same decoder shape cmd/serve and the chaos harness use.
+func churnDecoder(co churn.Options, endpointRegions int) Decoder {
+	return func(r *http.Request) (*model.Application, *model.Library, error) {
+		var req admitReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return nil, nil, fmt.Errorf("bad body: %w", err)
+		}
+		if req.Index < 0 {
+			return nil, nil, fmt.Errorf("negative index %d", req.Index)
+		}
+		app, lib := co.Arrival(req.Index, endpointRegions)
+		return app, lib, nil
+	}
+}
+
+func postAdmit(t *testing.T, addr string, idx int) (int, AdmitResponse) {
+	t.Helper()
+	body, _ := json.Marshal(admitReq{Index: idx})
+	resp, err := http.Post("http://"+addr+"/admit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /admit: %v", err)
+	}
+	defer resp.Body.Close()
+	var ar AdmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatalf("decode /admit response: %v", err)
+	}
+	return resp.StatusCode, ar
+}
+
+// drainResults keeps the server's shared results channel flowing; the
+// front door's per-request notify channels are independent of it.
+func drainResults(srv *stream.Server) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range srv.Results() {
+		}
+	}()
+	return done
+}
+
+// TestFrontEndToEnd drives the full HTTP surface over a real mesh:
+// admissions return 200, the health endpoints answer, and the drain
+// sequence flips readiness before refusing admissions — with the stream
+// ledger exact at the end.
+func TestFrontEndToEnd(t *testing.T) {
+	plat := workload.SyntheticRegionPlatform(8, 8, 99, 0)
+	m := manager.New(plat, core.Config{})
+	m.SetMappingReuse(true)
+	pipe := manager.NewPipeline(m, 4, 16)
+	srv, err := stream.New(stream.Options{Backend: stream.NewPipelineBackend(m, pipe)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector := drainResults(srv)
+
+	co := churn.Options{Catalogue: 4, MaxUtil: 0.05, PeriodNs: 40_000, PrioMix: "1:1:1"}
+	d, err := Listen(Options{Server: srv, Decode: churnDecoder(co, 1), RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 8; i++ {
+		status, ar := postAdmit(t, d.Addr(), i)
+		if status != http.StatusOK || ar.Verdict != "admitted" {
+			t.Fatalf("admit %d: status %d, verdict %q (err %q)", i, status, ar.Verdict, ar.Error)
+		}
+		if ar.Attempts != 1 {
+			t.Fatalf("admit %d took %d attempts on an empty mesh", i, ar.Attempts)
+		}
+	}
+
+	for _, ep := range []string{"healthz", "readyz"} {
+		resp, err := http.Get("http://" + d.Addr() + "/" + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /%s = %d, want 200", ep, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get("http://" + d.Addr() + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var met Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&met); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if met.Door.Admitted != 8 || met.Stream.Admitted != 8 {
+		t.Fatalf("metricsz: door admitted %d, stream admitted %d, want 8/8", met.Door.Admitted, met.Stream.Admitted)
+	}
+
+	// Drain: readiness flips, then /admit refuses, then the listener is
+	// gone — and only after that does the stream server shut down.
+	addr := d.Addr()
+	if err := d.Drain(t.Context()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/readyz"); err == nil {
+		t.Fatal("listener still accepting after drain")
+	}
+	rep := srv.Shutdown()
+	<-collector
+	if !rep.LedgerOK() {
+		t.Fatalf("ledger broken after drain: %+v", rep)
+	}
+	if rep.Submitted != 8 || rep.Admitted != 8 {
+		t.Fatalf("ledger: submitted %d admitted %d, want 8/8", rep.Submitted, rep.Admitted)
+	}
+}
+
+// TestFrontDrainRefusesNewAdmits checks the draining 503 path directly:
+// a door that began draining answers /admit with 503 and counts it.
+func TestFrontDrainRefusesNewAdmits(t *testing.T) {
+	srv := newScriptedServer(t, &scriptBackend{})
+	collector := drainResults(srv)
+	d, err := Listen(Options{Server: srv, Decode: rejectAllDecoder()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip readiness without closing the listener yet: simulate the
+	// window a load balancer sees between the flip and the close.
+	d.ready.Store(false)
+	status, ar := postAdmit(t, d.Addr(), 0)
+	if status != http.StatusServiceUnavailable || ar.Error != "draining" {
+		t.Fatalf("draining admit: status %d, error %q", status, ar.Error)
+	}
+	if st := d.Stats(); st.Draining != 1 || st.Busy != 1 {
+		t.Fatalf("draining stats: %+v", st)
+	}
+	if err := d.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	srv.Shutdown()
+	<-collector
+}
+
+// scriptBackend is a deterministic stream.Backend: the first
+// rejectFirst submissions are rejected retryably (capacity), the rest
+// admitted; every outcome is delayed by delay.
+type scriptBackend struct {
+	mu          sync.Mutex
+	rejectFirst int
+	delay       time.Duration
+	subs        int
+}
+
+func (b *scriptBackend) outcome(app *model.Application) func() manager.Outcome {
+	b.mu.Lock()
+	b.subs++
+	n := b.subs
+	b.mu.Unlock()
+	return func() manager.Outcome {
+		if b.delay > 0 {
+			time.Sleep(b.delay)
+		}
+		if n <= b.rejectFirst {
+			return manager.Outcome{App: app.Name, Err: &manager.RejectionError{
+				App: app.Name, Reason: "no feasible mapping at current occupancy", Retryable: true,
+			}}
+		}
+		return manager.Outcome{App: app.Name, Admitted: true}
+	}
+}
+
+func (b *scriptBackend) Submit(app *model.Application, _ *model.Library) (func() manager.Outcome, error) {
+	return b.outcome(app), nil
+}
+
+func (b *scriptBackend) TrySubmit(app *model.Application, _ *model.Library) (func() manager.Outcome, bool) {
+	return b.outcome(app), true
+}
+
+func (b *scriptBackend) Utilization() float64    { return 1.0 }
+func (b *scriptBackend) Stop(string) error       { return nil }
+func (b *scriptBackend) NoteShed(model.Priority) {}
+func (b *scriptBackend) NoteDLQRecovered()       {}
+func (b *scriptBackend) NoteDLQExpired()         {}
+func (b *scriptBackend) Stats() manager.Stats    { return manager.Stats{} }
+func (b *scriptBackend) Close()                  {}
+
+// newScriptedServer builds a stream server without a DLQ (so retryable
+// rejections surface immediately as final results the door can retry).
+func newScriptedServer(t *testing.T, b stream.Backend) *stream.Server {
+	t.Helper()
+	srv, err := stream.New(stream.Options{Backend: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// rejectAllDecoder builds a minimal Critical arrival for script tests.
+func rejectAllDecoder() Decoder {
+	var n int
+	var mu sync.Mutex
+	return func(*http.Request) (*model.Application, *model.Library, error) {
+		mu.Lock()
+		n++
+		i := n
+		mu.Unlock()
+		app, lib := workload.Synthetic(workload.SynthOptions{Shape: workload.ShapeChain, Processes: 3, MaxUtil: 0.1, PeriodNs: 40_000})
+		app.Name = fmt.Sprintf("scripted-%d", i)
+		app.QoS.Priority = model.Critical
+		return app, lib, nil
+	}
+}
+
+// TestFrontRetryRecovers pins the bounded-retry path: two retryable
+// capacity rejections, then an admission — the door's jittered backoff
+// absorbs the transient and answers 200 with three attempts.
+func TestFrontRetryRecovers(t *testing.T) {
+	b := &scriptBackend{rejectFirst: 2}
+	srv := newScriptedServer(t, b)
+	collector := drainResults(srv)
+	d, err := Listen(Options{Server: srv, Decode: rejectAllDecoder(), Retries: 2, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, ar := postAdmit(t, d.Addr(), 0)
+	if status != http.StatusOK || ar.Verdict != "admitted" {
+		t.Fatalf("retried admit: status %d, verdict %q (err %q)", status, ar.Verdict, ar.Error)
+	}
+	if ar.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (original + 2 retries)", ar.Attempts)
+	}
+	if st := d.Stats(); st.Retries != 2 || st.Admitted != 1 {
+		t.Fatalf("stats after retry: %+v", st)
+	}
+	if err := d.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	rep := srv.Shutdown()
+	<-collector
+	// Three submissions, three outcomes: the retries are real ledger
+	// entries, not hidden resubmissions.
+	if !rep.LedgerOK() || rep.Submitted != 3 || rep.Admitted != 1 || rep.Rejected != 2 {
+		t.Fatalf("ledger after retries: %+v", rep)
+	}
+}
+
+// TestFrontRetryBudgetExhausted pins the other side: a backend that
+// stays out of capacity longer than the budget yields 503 with a
+// Retry-After hint after exactly 1 + Retries attempts.
+func TestFrontRetryBudgetExhausted(t *testing.T) {
+	b := &scriptBackend{rejectFirst: 1 << 30}
+	srv := newScriptedServer(t, b)
+	collector := drainResults(srv)
+	d, err := Listen(Options{Server: srv, Decode: rejectAllDecoder(), Retries: 2, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(admitReq{Index: 0})
+	resp, err := http.Post("http://"+d.Addr()+"/admit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (body %s)", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After hint")
+	}
+	var ar AdmitResponse
+	if err := json.Unmarshal(raw, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Attempts != 3 || ar.Verdict != "rejected" {
+		t.Fatalf("exhausted budget: attempts %d, verdict %q", ar.Attempts, ar.Verdict)
+	}
+	if err := d.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	rep := srv.Shutdown()
+	<-collector
+	if !rep.LedgerOK() || rep.Submitted != 3 || rep.Rejected != 3 {
+		t.Fatalf("ledger after exhausted budget: %+v", rep)
+	}
+}
+
+// TestFrontDeadlinePropagates pins the 504 path: a backend slower than
+// the request timeout leaves the client with 504, while the arrival
+// still runs to its verdict and the ledger stays exact.
+func TestFrontDeadlinePropagates(t *testing.T) {
+	b := &scriptBackend{delay: 300 * time.Millisecond}
+	srv := newScriptedServer(t, b)
+	collector := drainResults(srv)
+	d, err := Listen(Options{Server: srv, Decode: rejectAllDecoder(), RequestTimeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, ar := postAdmit(t, d.Addr(), 0)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("slow backend: status %d (err %q), want 504", status, ar.Error)
+	}
+	if st := d.Stats(); st.Timeout != 1 {
+		t.Fatalf("timeout stats: %+v", st)
+	}
+	if err := d.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	rep := srv.Shutdown()
+	<-collector
+	// The abandoned arrival still got its single outcome.
+	if !rep.LedgerOK() || rep.Submitted != 1 || rep.Admitted != 1 {
+		t.Fatalf("ledger after abandoned wait: %+v", rep)
+	}
+}
+
+// TestFrontBadRequest pins the 400 path: decoder errors never reach the
+// pipeline.
+func TestFrontBadRequest(t *testing.T) {
+	srv := newScriptedServer(t, &scriptBackend{})
+	collector := drainResults(srv)
+	co := churn.Options{Catalogue: 4, MaxUtil: 0.05, PeriodNs: 40_000}
+	d, err := Listen(Options{Server: srv, Decode: churnDecoder(co, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+d.Addr()+"/admit", "application/json", bytes.NewReader([]byte("not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: status %d, want 400", resp.StatusCode)
+	}
+	status, _ := postAdmit(t, d.Addr(), -1)
+	if status != http.StatusBadRequest {
+		t.Fatalf("negative index: status %d, want 400", status)
+	}
+	if err := d.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	rep := srv.Shutdown()
+	<-collector
+	if rep.Submitted != 0 {
+		t.Fatalf("decoder errors reached the pipeline: %+v", rep)
+	}
+}

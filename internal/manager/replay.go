@@ -54,6 +54,16 @@ func ReplaySegments(plat *arch.Platform, cfg core.Config, segments ...io.Reader)
 	return m, tail, err
 }
 
+// ReplayEvents applies an already-verified event stream to a fresh
+// manager over plat. It is the replay half of crash recovery when the
+// caller did its own verification — journal.Recover / RecoverFiles
+// return the sealed events plus the chain position for a resumed
+// writer; this turns those events into the live manager. The same
+// pristine-platform and bit-for-bit guarantees as Replay apply.
+func ReplayEvents(plat *arch.Platform, cfg core.Config, events []journal.Event) (*Manager, error) {
+	return replayEvents(plat, cfg, events)
+}
+
 // replayEvents applies a verified event stream to a fresh manager.
 func replayEvents(plat *arch.Platform, cfg core.Config, events []journal.Event) (*Manager, error) {
 	m := New(plat, cfg)

@@ -22,9 +22,10 @@ type BreakerConfig struct {
 	MinSamples int
 	// Ratio is the failure fraction that opens the breaker (default 0.5).
 	Ratio float64
-	// Latency, when positive, counts an admission slower than this as a
-	// breach even though it succeeded — sustained latency collapse opens
-	// the breaker just like sustained rejection.
+	// Latency, when positive, counts an admission whose service latency
+	// (backend submission → outcome, excluding queue wait) exceeded this
+	// as a breach even though it succeeded — sustained latency collapse
+	// opens the breaker just like sustained rejection.
 	Latency time.Duration
 	// Cooldown is how long the breaker stays open before it half-opens
 	// and lets probe arrivals through (default 250ms).
@@ -61,6 +62,17 @@ const (
 	breakerOpen
 	breakerHalfOpen
 )
+
+// String names the state for reports and the /metricsz endpoint.
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
 
 // breakerBuckets subdivide the rolling window so the failure ratio
 // decays smoothly without keeping a per-sample history: memory stays

@@ -29,6 +29,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -45,6 +46,15 @@ type Arrival struct {
 	Lib *model.Library
 	// t is the Submit timestamp, the start of the latency measurement.
 	t time.Time
+	// deadline, when set, is the request's drop-dead time: a Standard or
+	// BestEffort arrival still queued past it is shed (ShedAtDeadline)
+	// instead of burning a mapping round nobody is waiting for. Critical
+	// arrivals are never deadline-shed — their contract is backpressure,
+	// and the deadline only bounds how long a SubmitWait caller waits.
+	deadline time.Time
+	// notify, when set, receives a copy of the arrival's single Result
+	// (capacity 1, so the delivery never blocks the stages).
+	notify chan Result
 }
 
 // Verdict is how an arrival's passage through the server ended.
@@ -110,6 +120,9 @@ const (
 	ShedAtBreaker
 	// ShedAtQueue: the backend queue refused the non-blocking submit.
 	ShedAtQueue
+	// ShedAtDeadline: the arrival's request deadline passed while it was
+	// still queued in a server stage.
+	ShedAtDeadline
 )
 
 // String names the shedding stage for reports.
@@ -121,6 +134,8 @@ func (s ShedStage) String() string {
 		return "breaker"
 	case ShedAtQueue:
 		return "queue"
+	case ShedAtDeadline:
+		return "deadline"
 	}
 	return "none"
 }
@@ -137,7 +152,14 @@ type Options struct {
 	// BestEffort first, then Standard (default 64).
 	ClassBuf int
 	// Rate throttles dispatch to this many arrivals/sec (0 = unlimited).
+	// Ignored while the AIMD controller runs — the controller owns the
+	// rate then.
 	Rate int
+	// AIMD enables the adaptive overload controller when AIMD.SLO > 0:
+	// the dispatch rate is raised additively while windowed p99 holds
+	// under the SLO and cut multiplicatively on a breach or an open
+	// breaker, replacing hand-tuned static rates.
+	AIMD AIMDConfig
 	// DLQ is the dead-letter queue capacity; 0 disables it (capacity
 	// rejections become final).
 	DLQ int
@@ -179,6 +201,9 @@ func (o Options) withDefaults() Options {
 	if o.Results <= 0 {
 		o.Results = 4 * o.Ingress
 	}
+	if o.AIMD.enabled() {
+		o.AIMD = o.AIMD.withDefaults()
+	}
 	return o
 }
 
@@ -201,10 +226,21 @@ type Server struct {
 	breaker *breaker
 	dlq     *dlq
 	win     *metricsWindow
+	// svcWin tracks service latency (backend submission → outcome),
+	// excluding ingress/class-buffer queue wait. It is the AIMD
+	// controller's feedback signal: queue wait under backpressure grows
+	// with buffer depth at any sub-capacity rate, so steering on it
+	// would drive the rate to the floor; service latency is what the
+	// dispatch rate can actually protect.
+	svcWin *metricsWindow
+	// rate is the live dispatch throttle in arrivals/sec (0 =
+	// unlimited): static Options.Rate, or the AIMD controller's output.
+	rate rateBox
 
 	stages   sync.WaitGroup // classify + dispatch
 	watchers sync.WaitGroup // one per backend submission in flight
 	dlqDone  chan struct{}
+	aimdDone chan struct{}
 	quit     chan struct{}
 
 	c counters
@@ -215,7 +251,9 @@ type Server struct {
 type counters struct {
 	submitted, admitted, recovered, rejected, expired atomic.Uint64
 	shedByClass                                       [model.NumPriorities]atomic.Uint64
-	shedBuffer, shedBreaker, shedQueue                atomic.Uint64
+	recoveredByClass, expiredByClass                  [model.NumPriorities]atomic.Uint64
+	shedBuffer, shedBreaker, shedQueue, shedDeadline  atomic.Uint64
+	rateCuts, rateRaises                              atomic.Uint64
 }
 
 // clampClass folds any priority into the valid class range, mirroring
@@ -244,6 +282,7 @@ func New(opts Options) (*Server, error) {
 		results: make(chan Result, opts.Results),
 		breaker: newBreaker(opts.Breaker),
 		win:     newMetricsWindow(opts.Window),
+		svcWin:  newMetricsWindow(opts.Window),
 		quit:    make(chan struct{}),
 	}
 	// Class buffer sizing is the shedding order: BestEffort saturates
@@ -260,6 +299,15 @@ func New(opts Options) (*Server, error) {
 		s.dlqDone = make(chan struct{})
 		go s.dlqLoop()
 	}
+	if opts.AIMD.enabled() {
+		// Start optimistic: an unsaturated server pays no throttle tax,
+		// and the first SLO breach cuts multiplicatively anyway.
+		s.rate.store(opts.AIMD.MaxRate)
+		s.aimdDone = make(chan struct{})
+		go s.aimdLoop()
+	} else {
+		s.rate.store(float64(opts.Rate))
+	}
 	s.stages.Add(2)
 	go s.classify()
 	go s.dispatch()
@@ -271,14 +319,55 @@ func New(opts Options) (*Server, error) {
 // after Shutdown began. Every accepted arrival yields exactly one
 // Result on Results.
 func (s *Server) Submit(app *model.Application, lib *model.Library) error {
+	return s.SubmitCtx(context.Background(), app, lib)
+}
+
+// SubmitCtx is Submit with a context: a cancellation or deadline can
+// abandon the wait for ingress space (the arrival never entered and is
+// not counted), and a context deadline rides with the arrival through
+// the stages — a Standard or BestEffort arrival still queued past it is
+// shed rather than mapped for a caller that already gave up.
+func (s *Server) SubmitCtx(ctx context.Context, app *model.Application, lib *model.Library) error {
+	_, err := s.submit(ctx, app, lib, nil)
+	return err
+}
+
+// SubmitWait submits one arrival and blocks until its single Result
+// arrives (or ctx ends first — the arrival still runs to its verdict
+// and is counted in the ledger; only the wait is abandoned). It is the
+// request/response shape the network front door needs: one goroutine
+// per in-flight request, no shared Results() demultiplexing.
+func (s *Server) SubmitWait(ctx context.Context, app *model.Application, lib *model.Library) (Result, error) {
+	notify, err := s.submit(ctx, app, lib, make(chan Result, 1))
+	if err != nil {
+		return Result{}, err
+	}
+	select {
+	case r := <-notify:
+		return r, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// submit places one arrival into ingress, respecting ctx while blocked.
+func (s *Server) submit(ctx context.Context, app *model.Application, lib *model.Library, notify chan Result) (chan Result, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
-		return ErrServerClosed
+		return nil, ErrServerClosed
 	}
-	s.c.submitted.Add(1)
-	s.ingress <- Arrival{App: app, Lib: lib, t: time.Now()}
-	return nil
+	a := Arrival{App: app, Lib: lib, t: time.Now(), notify: notify}
+	if d, ok := ctx.Deadline(); ok {
+		a.deadline = d
+	}
+	select {
+	case s.ingress <- a:
+		s.c.submitted.Add(1)
+		return notify, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // Results delivers each accepted arrival's single terminal Result. The
@@ -291,10 +380,14 @@ func (s *Server) Results() <-chan Result { return s.results }
 // and admissions/sec.
 func (s *Server) Metrics() WindowSnapshot { return s.win.Snapshot() }
 
-// classify drains ingress through the optional throttle into the
-// per-class buffers. BestEffort and Standard sends drop on a full
-// buffer (the shed, cheapest possible: no mapping ran); Critical sends
-// block, propagating backpressure to Submit through ingress.
+// classify drains ingress through the throttle into the per-class
+// buffers. The throttle's rate is read per arrival from the rate box,
+// so the AIMD controller's cuts and raises take effect immediately.
+// BestEffort and Standard sends drop on a full buffer (the shed,
+// cheapest possible: no mapping ran); Critical sends block, propagating
+// backpressure to Submit through ingress. A non-Critical arrival whose
+// request deadline already passed is shed before it ever costs a
+// buffer slot.
 func (s *Server) classify() {
 	defer s.stages.Done()
 	defer func() {
@@ -303,28 +396,24 @@ func (s *Server) classify() {
 		}
 	}()
 	var tokens float64
-	var burst float64
 	last := time.Now()
-	if s.opts.Rate > 0 {
-		burst = float64(s.opts.Rate) / 100
-		if burst < 1 {
-			burst = 1
-		}
-		tokens = burst
-	}
 	for a := range s.ingress {
-		if s.opts.Rate > 0 {
+		if rate := s.rate.load(); rate > 0 {
+			burst := rate / 100
+			if burst < 1 {
+				burst = 1
+			}
 			now := time.Now()
-			tokens += now.Sub(last).Seconds() * float64(s.opts.Rate)
+			tokens += now.Sub(last).Seconds() * rate
 			if tokens > burst {
 				tokens = burst
 			}
 			last = now
 			if tokens < 1 {
-				wait := time.Duration((1 - tokens) / float64(s.opts.Rate) * float64(time.Second))
+				wait := time.Duration((1 - tokens) / rate * float64(time.Second))
 				time.Sleep(wait)
 				now = time.Now()
-				tokens += now.Sub(last).Seconds() * float64(s.opts.Rate)
+				tokens += now.Sub(last).Seconds() * rate
 				last = now
 			}
 			tokens--
@@ -332,6 +421,11 @@ func (s *Server) classify() {
 		c := clampClass(a.App.QoS.Priority)
 		if c == model.Critical {
 			s.classes[c] <- a
+			continue
+		}
+		if !a.deadline.IsZero() && time.Now().After(a.deadline) {
+			s.c.shedDeadline.Add(1)
+			s.shed(a, c, ShedAtDeadline)
 			continue
 		}
 		select {
@@ -407,6 +501,13 @@ func (s *Server) dispatch() {
 // (backpressure), the rest shed on a saturated queue or an open
 // breaker.
 func (s *Server) handle(a Arrival, c model.Priority) {
+	if c != model.Critical && !a.deadline.IsZero() && time.Now().After(a.deadline) {
+		// The request deadline expired while the arrival sat in its class
+		// buffer; mapping it now would serve nobody.
+		s.c.shedDeadline.Add(1)
+		s.shed(a, c, ShedAtDeadline)
+		return
+	}
 	if c != model.Critical && !s.breaker.allow() {
 		s.c.shedBreaker.Add(1)
 		s.shed(a, c, ShedAtBreaker)
@@ -417,7 +518,7 @@ func (s *Server) handle(a Arrival, c model.Priority) {
 		if err != nil {
 			// Backend refused outright (closed or duplicate): deliver a
 			// final rejection so the arrival still gets its one outcome.
-			s.deliver(Result{
+			s.deliver(a.notify, Result{
 				App: a.App.Name, Class: c, Verdict: VerdictRejected,
 				Latency: time.Since(a.t),
 				Outcome: manager.Outcome{App: a.App.Name, Err: err, Priority: c},
@@ -448,7 +549,7 @@ func (s *Server) shed(a Arrival, c model.Priority, at ShedStage) {
 
 // shedNoNote drops an arrival whose shed the backend already counted.
 func (s *Server) shedNoNote(a Arrival, c model.Priority, at ShedStage) {
-	s.deliver(Result{App: a.App.Name, Class: c, Verdict: VerdictShed, Latency: time.Since(a.t), ShedAt: at})
+	s.deliver(a.notify, Result{App: a.App.Name, Class: c, Verdict: VerdictShed, Latency: time.Since(a.t), ShedAt: at})
 }
 
 // watch waits for one backend outcome on its own goroutine. attempts is
@@ -458,18 +559,21 @@ func (s *Server) shedNoNote(a Arrival, c model.Priority, at ShedStage) {
 // queue-depth + workers outcomes are ever pending.
 func (s *Server) watch(a Arrival, c model.Priority, wait func() manager.Outcome, attempts int) {
 	s.watchers.Add(1)
+	submitted := time.Now()
 	go func() {
 		defer s.watchers.Done()
 		out := wait()
 		lat := time.Since(a.t)
+		svc := time.Since(submitted)
 		if out.Admitted {
 			recovered := attempts > 1
 			if recovered {
 				s.backend.NoteDLQRecovered()
 			}
-			s.breaker.record(s.opts.Breaker.Latency > 0 && lat > s.opts.Breaker.Latency)
+			s.breaker.record(s.opts.Breaker.Latency > 0 && svc > s.opts.Breaker.Latency)
 			s.win.add(lat)
-			s.deliver(Result{
+			s.svcWin.add(svc)
+			s.deliver(a.notify, Result{
 				App: a.App.Name, Class: c, Verdict: VerdictAdmitted,
 				Recovered: recovered, Latency: lat, Outcome: out,
 			})
@@ -478,19 +582,19 @@ func (s *Server) watch(a Arrival, c model.Priority, wait func() manager.Outcome,
 		s.breaker.record(true)
 		if s.dlq != nil && manager.IsRetryableRejection(out.Err) {
 			if attempts < s.opts.DLQRetries {
-				if s.dlq.add(dlqEntry{arr: a, attempts: attempts}) {
+				if s.dlq.add(dlqEntry{arr: a, class: c, attempts: attempts}) {
 					return // verdict deferred to the retry or the expiry
 				}
 			}
-			// Budget spent or queue full: the entry expires.
+			// Budget spent or class quota full: the entry expires.
 			s.backend.NoteDLQExpired()
-			s.deliver(Result{
+			s.deliver(a.notify, Result{
 				App: a.App.Name, Class: c, Verdict: VerdictExpired,
 				Latency: lat, Outcome: out,
 			})
 			return
 		}
-		s.deliver(Result{
+		s.deliver(a.notify, Result{
 			App: a.App.Name, Class: c, Verdict: VerdictRejected,
 			Latency: lat, Outcome: out,
 		})
@@ -512,7 +616,7 @@ func (s *Server) dlqLoop() {
 				continue
 			}
 			for _, e := range s.dlq.popBatch(8) {
-				c := clampClass(e.arr.App.QoS.Priority)
+				c := e.class
 				wait, ok := s.backend.TrySubmit(e.arr.App, e.arr.Lib)
 				if !ok {
 					// Queue refilled between the utilization read and the
@@ -520,7 +624,7 @@ func (s *Server) dlqLoop() {
 					// (no mapping round ran).
 					if !s.dlq.add(e) {
 						s.backend.NoteDLQExpired()
-						s.deliver(Result{
+						s.deliver(e.arr.notify, Result{
 							App: e.arr.App.Name, Class: c, Verdict: VerdictExpired,
 							Latency: time.Since(e.arr.t),
 						})
@@ -533,15 +637,17 @@ func (s *Server) dlqLoop() {
 	}
 }
 
-// deliver finalizes one arrival: ledger counters, then the results
-// channel (which may block — backpressure toward the stages when the
-// consumer lags).
-func (s *Server) deliver(r Result) {
+// deliver finalizes one arrival: ledger counters, the per-request
+// notify channel (capacity 1, never blocks), then the results channel
+// (which may block — backpressure toward the stages when the consumer
+// lags).
+func (s *Server) deliver(notify chan Result, r Result) {
 	switch r.Verdict {
 	case VerdictAdmitted:
 		s.c.admitted.Add(1)
 		if r.Recovered {
 			s.c.recovered.Add(1)
+			s.c.recoveredByClass[clampClass(r.Class)].Add(1)
 		}
 	case VerdictRejected:
 		s.c.rejected.Add(1)
@@ -549,6 +655,13 @@ func (s *Server) deliver(r Result) {
 		s.c.shedByClass[clampClass(r.Class)].Add(1)
 	case VerdictExpired:
 		s.c.expired.Add(1)
+		s.c.expiredByClass[clampClass(r.Class)].Add(1)
+	}
+	if notify != nil {
+		select {
+		case notify <- r:
+		default: // impossible: one outcome, capacity 1 — but never block
+		}
 	}
 	s.results <- r
 }
@@ -571,20 +684,23 @@ func (s *Server) Shutdown() Report {
 
 	close(s.ingress)
 	s.stages.Wait() // classify drained ingress; dispatch drained classes
+	// Stop the DLQ retry loop BEFORE waiting on watchers: the loop
+	// spawns watcher goroutines, and a WaitGroup must not grow while
+	// being waited on. The AIMD controller rides the same quit signal.
+	close(s.quit)
 	if s.dlq != nil {
-		// Stop the retry loop BEFORE waiting on watchers: the loop spawns
-		// watcher goroutines, and a WaitGroup must not grow while being
-		// waited on.
-		close(s.quit)
 		<-s.dlqDone
+	}
+	if s.aimdDone != nil {
+		<-s.aimdDone
 	}
 	s.watchers.Wait() // every submitted outcome delivered (or parked in DLQ)
 	if s.dlq != nil {
 		for _, e := range s.dlq.drain() {
 			s.backend.NoteDLQExpired()
-			s.deliver(Result{
+			s.deliver(e.arr.notify, Result{
 				App:     e.arr.App.Name,
-				Class:   clampClass(e.arr.App.QoS.Priority),
+				Class:   e.class,
 				Verdict: VerdictExpired,
 				Latency: time.Since(e.arr.t),
 			})
@@ -608,16 +724,31 @@ type Report struct {
 	Expired   uint64
 	// ShedByClass splits the sheds per QoS class; Shed() sums them.
 	ShedByClass [model.NumPriorities]uint64
-	// ShedBuffer, ShedBreaker and ShedQueue attribute sheds to the stage
-	// that dropped: full class buffer, open circuit breaker, saturated
-	// backend queue.
-	ShedBuffer, ShedBreaker, ShedQueue uint64
-	// BreakerOpens counts breaker trips; DLQDepth is the queue's depth
-	// at report time (nonzero only mid-run).
-	BreakerOpens uint64
-	DLQDepth     int
-	// Window is the rolling-window snapshot at report time.
-	Window WindowSnapshot
+	// RecoveredByClass and ExpiredByClass split the DLQ outcomes per QoS
+	// class, so a per-class budget squeeze is visible in the ledger.
+	RecoveredByClass, ExpiredByClass [model.NumPriorities]uint64
+	// ShedBuffer, ShedBreaker, ShedQueue and ShedDeadline attribute
+	// sheds to the stage that dropped: full class buffer, open circuit
+	// breaker, saturated backend queue, expired request deadline.
+	ShedBuffer, ShedBreaker, ShedQueue, ShedDeadline uint64
+	// BreakerOpens counts breaker trips; BreakerState names the state at
+	// report time; DLQDepth is the queue's total depth at report time
+	// (nonzero only mid-run) and DLQDepthByClass splits it per lane.
+	BreakerOpens    uint64
+	BreakerState    string
+	DLQDepth        int
+	DLQDepthByClass [model.NumPriorities]int
+	// AdmitRate is the dispatch throttle's rate at report time (0 =
+	// unlimited); RateCuts and RateRaises count the AIMD controller's
+	// multiplicative cuts and additive raises.
+	AdmitRate            float64
+	RateCuts, RateRaises uint64
+	// Window is the rolling-window snapshot of end-to-end admission
+	// latency at report time; Service is the same window over service
+	// latency only (backend submission → outcome, excluding queue wait)
+	// — the AIMD controller's and latency breaker's feedback signal.
+	Window  WindowSnapshot
+	Service WindowSnapshot
 }
 
 // Shed sums the per-class shed counts.
@@ -646,14 +777,25 @@ func (s *Server) Report() Report {
 		ShedBuffer:   s.c.shedBuffer.Load(),
 		ShedBreaker:  s.c.shedBreaker.Load(),
 		ShedQueue:    s.c.shedQueue.Load(),
+		ShedDeadline: s.c.shedDeadline.Load(),
 		BreakerOpens: s.breaker.Opens(),
+		BreakerState: s.breaker.State().String(),
+		AdmitRate:    s.rate.load(),
+		RateCuts:     s.c.rateCuts.Load(),
+		RateRaises:   s.c.rateRaises.Load(),
 		Window:       s.win.Snapshot(),
+		Service:      s.svcWin.Snapshot(),
 	}
 	for c := range r.ShedByClass {
 		r.ShedByClass[c] = s.c.shedByClass[c].Load()
+		r.RecoveredByClass[c] = s.c.recoveredByClass[c].Load()
+		r.ExpiredByClass[c] = s.c.expiredByClass[c].Load()
 	}
 	if s.dlq != nil {
 		r.DLQDepth = s.dlq.depth()
+		for c := range r.DLQDepthByClass {
+			r.DLQDepthByClass[c] = s.dlq.depthOf(model.Priority(c))
+		}
 	}
 	return r
 }

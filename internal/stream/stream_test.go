@@ -105,6 +105,97 @@ func TestBreakerReopensOnFailedProbe(t *testing.T) {
 	}
 }
 
+// TestBreakerHalfOpenProbesConcurrent pins the half-open contract under
+// contention (run with -race): no matter how many goroutines race
+// allow(), exactly Probes arrivals pass while half-open — no thundering
+// herd onto a recovering backend — and concurrent probe outcomes settle
+// the state exactly once: all-success closes it, any failure reopens it
+// exactly one more time.
+func TestBreakerHalfOpenProbesConcurrent(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(4000, 0)}
+	const probes = 5
+	b := newBreaker(BreakerConfig{
+		Window: 500 * time.Millisecond, MinSamples: 5, Ratio: 0.5,
+		Cooldown: 100 * time.Millisecond, Probes: probes,
+	})
+	b.now = clk.now
+	b.bucketAt = clk.now()
+
+	trip := func() {
+		for i := 0; i < 5; i++ {
+			b.record(true)
+		}
+		if b.allow() {
+			t.Fatal("breaker did not trip")
+		}
+		clk.advance(150 * time.Millisecond)
+	}
+	// hammer races many goroutines against allow() and returns how many
+	// arrivals were admitted.
+	hammer := func() int {
+		var admitted atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					if b.allow() {
+						admitted.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return int(admitted.Load())
+	}
+
+	// Round 1: exactly Probes admitted, concurrent successes close it.
+	trip()
+	if got := hammer(); got != probes {
+		t.Fatalf("half-open admitted %d arrivals, want exactly %d", got, probes)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < probes; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.record(false)
+		}()
+	}
+	wg.Wait()
+	if b.State() != breakerClosed {
+		t.Fatalf("breaker %s after %d concurrent successful probes, want closed", b.State(), probes)
+	}
+	opens := b.Opens()
+
+	// Round 2: exactly Probes admitted again, and one failure among the
+	// concurrent probe outcomes reopens it exactly once, whatever the
+	// interleaving (4 successes cannot close a Probes=5 breaker).
+	trip()
+	opens = b.Opens() // the trip itself is one open
+	if got := hammer(); got != probes {
+		t.Fatalf("second half-open admitted %d arrivals, want exactly %d", got, probes)
+	}
+	for i := 0; i < probes; i++ {
+		wg.Add(1)
+		go func(fail bool) {
+			defer wg.Done()
+			b.record(fail)
+		}(i == 0)
+	}
+	wg.Wait()
+	if b.State() != breakerOpen {
+		t.Fatalf("breaker %s after a failed probe, want open", b.State())
+	}
+	if b.Opens() != opens+1 {
+		t.Fatalf("opens = %d after one failed probe round, want %d", b.Opens(), opens+1)
+	}
+	if b.allow() {
+		t.Fatal("reopened breaker admitted an arrival inside the cooldown")
+	}
+}
+
 func TestBreakerRatioDecaysOutOfWindow(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(3000, 0)}
 	b := newBreaker(BreakerConfig{
@@ -158,30 +249,50 @@ func TestWindowPercentilesAndRate(t *testing.T) {
 	}
 }
 
-func TestDLQBoundedFIFO(t *testing.T) {
-	d := newDLQ(3)
-	mk := func(i int) dlqEntry {
+func TestDLQPerClassBudgetsAndOrder(t *testing.T) {
+	// Capacity 8 splits into quotas Critical 8, Standard 4, BestEffort 2.
+	d := newDLQ(8)
+	mk := func(c model.Priority, i int) dlqEntry {
 		app, lib := workload.Synthetic(workload.SynthOptions{Shape: workload.ShapeChain, Processes: 3, MaxUtil: 0.1, PeriodNs: 40_000})
-		app.Name = fmt.Sprintf("dlq-%d", i)
-		return dlqEntry{arr: Arrival{App: app, Lib: lib}, attempts: 1}
+		app.Name = fmt.Sprintf("dlq-%s-%d", c, i)
+		return dlqEntry{arr: Arrival{App: app, Lib: lib}, class: c, attempts: 1}
 	}
-	for i := 0; i < 3; i++ {
-		if !d.add(mk(i)) {
-			t.Fatalf("add %d refused below capacity", i)
+	// BestEffort pressure fills only its own lane...
+	for i := 0; i < 2; i++ {
+		if !d.add(mk(model.BestEffort, i)) {
+			t.Fatalf("BestEffort add %d refused below its quota", i)
 		}
 	}
-	if d.add(mk(3)) {
-		t.Fatal("add above capacity accepted")
+	if d.add(mk(model.BestEffort, 2)) {
+		t.Fatal("BestEffort add above its quota accepted")
 	}
-	batch := d.popBatch(2)
-	if len(batch) != 2 || batch[0].arr.App.Name != "dlq-0" || batch[1].arr.App.Name != "dlq-1" {
-		t.Fatalf("popBatch broke FIFO order: %+v", batch)
+	// ...and never costs Critical a slot.
+	for i := 0; i < 8; i++ {
+		if !d.add(mk(model.Critical, i)) {
+			t.Fatalf("Critical add %d refused despite BestEffort pressure", i)
+		}
 	}
-	if d.depth() != 1 {
-		t.Fatalf("depth = %d, want 1", d.depth())
+	if d.add(mk(model.Critical, 8)) {
+		t.Fatal("Critical add above its quota accepted")
+	}
+	if d.depth() != 10 || d.depthOf(model.BestEffort) != 2 || d.depthOf(model.Critical) != 8 {
+		t.Fatalf("depths: total %d, be %d, crit %d", d.depth(), d.depthOf(model.BestEffort), d.depthOf(model.Critical))
+	}
+	// Retry rounds drain the highest class first, FIFO within a class.
+	batch := d.popBatch(9)
+	if len(batch) != 9 {
+		t.Fatalf("popBatch returned %d entries, want 9", len(batch))
+	}
+	for i := 0; i < 8; i++ {
+		if want := fmt.Sprintf("dlq-critical-%d", i); batch[i].arr.App.Name != want {
+			t.Fatalf("batch[%d] = %s, want %s", i, batch[i].arr.App.Name, want)
+		}
+	}
+	if batch[8].arr.App.Name != "dlq-best-effort-0" {
+		t.Fatalf("batch[8] = %s, want the oldest BestEffort entry", batch[8].arr.App.Name)
 	}
 	rest := d.drain()
-	if len(rest) != 1 || rest[0].arr.App.Name != "dlq-2" {
+	if len(rest) != 1 || rest[0].arr.App.Name != "dlq-best-effort-1" {
 		t.Fatalf("drain returned %+v", rest)
 	}
 	if d.depth() != 0 {
